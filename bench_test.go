@@ -1,0 +1,77 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at micro scale (one environment, one seed, one round per
+// iteration), so `go test -bench=.` exercises the full harness quickly.
+// The full-scale regenerators live in cmd/stellaris-bench
+// (`stellaris-bench -exp fig6` etc.); EXPERIMENTS.md records their
+// outputs.
+package stellaris_test
+
+import (
+	"io"
+	"testing"
+
+	"stellaris"
+	"stellaris/internal/bench"
+)
+
+// benchOpt is the micro-scale option block shared by the per-figure
+// benchmarks: one seed, one round, one representative environment per
+// task class.
+func benchOpt(envs ...string) bench.Options {
+	return bench.Options{Out: io.Discard, Seeds: 1, Rounds: 1, Envs: envs}
+}
+
+func runExp(b *testing.B, name string, opt bench.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Run(name, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2Motivation(b *testing.B) { runExp(b, "fig2", benchOpt()) }
+func BenchmarkFig3aLearnerSweep(b *testing.B) {
+	opt := benchOpt()
+	runExp(b, "fig3a", opt)
+}
+func BenchmarkFig3bStalenessPDF(b *testing.B) { runExp(b, "fig3b", benchOpt()) }
+func BenchmarkFig3cKLDrift(b *testing.B)      { runExp(b, "fig3c", benchOpt()) }
+func BenchmarkFig6PPO(b *testing.B)           { runExp(b, "fig6", benchOpt("hopper")) }
+func BenchmarkFig7IMPACT(b *testing.B)        { runExp(b, "fig7", benchOpt("hopper")) }
+func BenchmarkFig8Cost(b *testing.B)          { runExp(b, "fig8", benchOpt("hopper")) }
+func BenchmarkFig9RLlib(b *testing.B)         { runExp(b, "fig9", benchOpt("hopper")) }
+func BenchmarkFig10MinionsRL(b *testing.B)    { runExp(b, "fig10", benchOpt("hopper")) }
+func BenchmarkFig11aAggregation(b *testing.B) { runExp(b, "fig11a", benchOpt()) }
+func BenchmarkFig11bTruncation(b *testing.B)  { runExp(b, "fig11b", benchOpt()) }
+func BenchmarkFig12HPC(b *testing.B)          { runExp(b, "fig12", benchOpt()) }
+func BenchmarkFig13Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, exp := range []string{"fig13a", "fig13b", "fig13c"} {
+			if err := bench.Run(exp, benchOpt()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+func BenchmarkFig14Latency(b *testing.B)        { runExp(b, "fig14", benchOpt("hopper", "invaders")) }
+func BenchmarkTable1Features(b *testing.B)      { runExp(b, "table1", benchOpt()) }
+func BenchmarkTheorem1Verify(b *testing.B)      { runExp(b, "thm1", benchOpt()) }
+func BenchmarkTheorem2Verify(b *testing.B)      { runExp(b, "thm2", benchOpt()) }
+func BenchmarkTable2Architectures(b *testing.B) { runExp(b, "table2", benchOpt()) }
+func BenchmarkTable3Hyperparams(b *testing.B)   { runExp(b, "table3", benchOpt()) }
+
+// BenchmarkTrainRound measures one full training round of the public
+// API (CartPole, Stellaris aggregation) — the end-to-end unit of work.
+func BenchmarkTrainRound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := stellaris.Train(stellaris.Config{
+			Env: "cartpole", Seed: uint64(i + 1),
+			Rounds: 1, UpdatesPerRound: 2,
+			NumActors: 4, ActorSteps: 32, BatchSize: 128, Hidden: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

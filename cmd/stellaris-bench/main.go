@@ -1,0 +1,61 @@
+// Command stellaris-bench regenerates the paper's evaluation tables and
+// figures.
+//
+// Usage:
+//
+//	stellaris-bench -exp fig6            # one experiment, reduced scale
+//	stellaris-bench -exp all -seeds 3    # everything, 3 seeds each
+//	stellaris-bench -exp fig11a -scale paper
+//	stellaris-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stellaris/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (fig2, fig3a..fig14, table2, table3) or \"all\"")
+		scale  = flag.String("scale", "small", "experiment scale: small or paper")
+		seeds  = flag.Int("seeds", 0, "seeds per configuration (0 = scale default)")
+		rounds = flag.Int("rounds", 0, "override training rounds (0 = scale default)")
+		envs   = flag.String("envs", "", "comma-separated environment subset (default: all six)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.Names() {
+			fmt.Printf("%-8s %s\n", name, bench.Describe(name))
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "stellaris-bench: -exp is required (use -list to enumerate)")
+		os.Exit(2)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.Names()
+	}
+	opt := bench.Options{Out: os.Stdout, Scale: *scale, Seeds: *seeds, Rounds: *rounds}
+	if *envs != "" {
+		opt.Envs = strings.Split(*envs, ",")
+	}
+	for _, name := range names {
+		start := time.Now()
+		fmt.Printf("==== %s: %s ====\n", name, bench.Describe(name))
+		if err := bench.Run(name, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "stellaris-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %.1fs ----\n\n", name, time.Since(start).Seconds())
+	}
+}

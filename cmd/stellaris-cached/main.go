@@ -1,0 +1,40 @@
+// Command stellaris-cached serves the distributed cache over TCP — the
+// Redis stand-in of the paper's architecture (§VII). Actors, learner
+// functions and the parameter function on other processes connect with
+// cache.Dial.
+//
+// Usage:
+//
+//	stellaris-cached -addr :6380
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"stellaris/internal/cache"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
+	flag.Parse()
+
+	srv := cache.NewServer(nil)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stellaris-cached:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("stellaris-cached listening on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "stellaris-cached: close:", err)
+		os.Exit(1)
+	}
+}

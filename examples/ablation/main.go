@@ -1,0 +1,46 @@
+// Command ablation reproduces the Fig. 11 ablations interactively:
+// Stellaris's staleness-aware aggregation against Softsync, SSP and pure
+// async (11a), and Stellaris with the importance-sampling truncation
+// disabled (11b).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stellaris"
+)
+
+func run(label string, cfg stellaris.Config) *stellaris.Result {
+	res, err := stellaris.Train(cfg)
+	if err != nil {
+		log.Fatalf("%s: %v", label, err)
+	}
+	fmt.Printf("%-16s final %8.1f   cost $%7.4f   wall %6.1fs   mean staleness %.2f\n",
+		label, res.FinalReward, res.TotalCostUSD, res.WallSec, res.Staleness.Mean())
+	return res
+}
+
+func main() {
+	base := stellaris.Config{
+		Env: "hopper", Algo: "ppo", Seed: 31,
+		Rounds: 16, NumActors: 8, ActorSteps: 128, BatchSize: 512, Hidden: 64,
+		ServerlessLearners: true, LearningRate: 0.0002,
+	}
+
+	fmt.Println("— Fig. 11a: gradient aggregation methods —")
+	for _, agg := range []stellaris.AggregatorKind{
+		stellaris.AggStellaris, stellaris.AggSoftsync, stellaris.AggSSP, stellaris.AggAsync,
+	} {
+		cfg := base
+		cfg.Aggregator = agg
+		run(string(agg), cfg)
+	}
+
+	fmt.Println("\n— Fig. 11b: importance-sampling truncation —")
+	withTrunc := base
+	run("with trunc", withTrunc)
+	noTrunc := base
+	noTrunc.DisableTruncation = true
+	run("without trunc", noTrunc)
+}

@@ -1,0 +1,39 @@
+// Command live_cluster runs Stellaris in its operational (non-simulated)
+// mode: real concurrent actor, learner and parameter workers exchanging
+// trajectories, gradients and policy weights through the TCP distributed
+// cache — the deployment shape of the paper's §VII implementation. Point
+// -cache at a running `stellaris-cached` instance to span processes, or
+// leave it empty to self-host the cache in-process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"stellaris/internal/live"
+)
+
+func main() {
+	var opt live.Options
+	flag.StringVar(&opt.CacheAddr, "cache", "", "stellaris-cached address (empty = in-process)")
+	flag.StringVar(&opt.Env, "env", "cartpole", "environment")
+	flag.IntVar(&opt.Actors, "actors", 4, "actor workers")
+	flag.IntVar(&opt.Learners, "learners", 2, "learner workers")
+	flag.IntVar(&opt.Updates, "updates", 32, "policy updates")
+	flag.IntVar(&opt.ActorSteps, "actor-steps", 64, "steps per trajectory")
+	flag.IntVar(&opt.BatchSize, "batch", 256, "learner batch size")
+	flag.IntVar(&opt.Hidden, "hidden", 64, "MLP width")
+	flag.Float64Var(&opt.LearningRate, "lr", 0.0003, "learning rate")
+	flag.Uint64Var(&opt.Seed, "seed", 1, "seed")
+	flag.Parse()
+
+	rep, err := live.Train(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live training: %d updates in %v across %d actors + %d learners\n",
+		rep.Updates, rep.Elapsed.Round(1e6), opt.Actors, opt.Learners)
+	fmt.Printf("episodes %d | mean return %.1f | mean staleness %.2f\n",
+		rep.Episodes, rep.MeanReturn, rep.MeanStaleness)
+}

@@ -1,0 +1,39 @@
+// Command quickstart trains PPO on CartPole with Stellaris's
+// asynchronous serverless learners — the smallest end-to-end run of the
+// public API — and prints the per-round training telemetry.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"stellaris"
+)
+
+func main() {
+	res, err := stellaris.Train(stellaris.Config{
+		Env:        "cartpole",
+		Algo:       "ppo",
+		Seed:       7,
+		Rounds:     20,
+		NumActors:  8,
+		ActorSteps: 128,
+		BatchSize:  512,
+		Hidden:     64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("round  reward  staleness  cost($)  wall(s)")
+	for _, row := range res.Rounds.Rows {
+		fmt.Printf("%5d  %6.1f  %9.2f  %7.4f  %7.1f\n",
+			row.Round, row.Reward, row.Staleness, row.CostUSD, row.WallSec)
+	}
+	fmt.Printf("\nfinal reward %.1f over %d episodes, cost $%.4f, GPU util %.0f%%\n",
+		res.FinalReward, res.Episodes, res.TotalCostUSD, 100*res.LearnerUtilization)
+	if err := res.Rounds.WriteCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

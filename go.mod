@@ -1,0 +1,3 @@
+module stellaris
+
+go 1.22

@@ -1,0 +1,143 @@
+// Package algo implements the DRL algorithms the paper integrates with
+// Stellaris: PPO (on-policy, clipped surrogate + GAE) and IMPACT
+// (off-policy, V-trace + clipped target-network surrogate), over the
+// actor-critic Model type they share.
+package algo
+
+import (
+	"fmt"
+
+	"stellaris/internal/env"
+	"stellaris/internal/nn"
+	"stellaris/internal/policy"
+	"stellaris/internal/replay"
+	"stellaris/internal/rng"
+	"stellaris/internal/tensor"
+)
+
+// Model is an actor-critic pair: a policy network emitting distribution
+// parameters and a critic network emitting state values. Per Table II
+// the critic shares the policy's architecture (not its weights).
+type Model struct {
+	Policy *nn.Network
+	Critic *nn.Network
+	Dist   policy.Distribution
+}
+
+// NewModel builds the paper's architecture for e (Table II): a 2x256
+// Tanh MLP trunk for vector observations, or the 16@8x8s4 / 32@4x4s2 /
+// 256-dense ReLU CNN trunk for image observations. seed controls weight
+// initialization.
+func NewModel(e env.Env, seed uint64) *Model { return NewModelHidden(e, 0, seed) }
+
+// NewModelHidden is NewModel with a configurable MLP trunk width;
+// hidden <= 0 selects the paper's 256. Image environments ignore hidden
+// (their compute scales with the frame size instead).
+func NewModelHidden(e env.Env, hidden int, seed uint64) *Model {
+	if hidden <= 0 {
+		hidden = 256
+	}
+	r := rng.New(seed)
+	as := e.ActionSpace()
+	var dist policy.Distribution
+	if as.Continuous {
+		dist = policy.NewDiagGaussian(as.Dim)
+	} else {
+		dist = policy.NewCategorical(as.N)
+	}
+
+	type framed interface{ FrameSize() int }
+	var pTrunk, cTrunk *nn.Network
+	if f, ok := e.(framed); ok {
+		s := f.FrameSize()
+		pTrunk = nn.CNNTrunk(3, s, s, r.Split(1))
+		cTrunk = nn.CNNTrunk(3, s, s, r.Split(2))
+	} else {
+		pTrunk = nn.MLPTrunk(e.ObsDim(), hidden, r.Split(1))
+		cTrunk = nn.MLPTrunk(e.ObsDim(), hidden, r.Split(2))
+	}
+	return &Model{
+		Policy: nn.WithHead(pTrunk, dist.ParamDim(), 0.01, r.Split(3)),
+		Critic: nn.WithHead(cTrunk, 1, 1.0, r.Split(4)),
+		Dist:   dist,
+	}
+}
+
+// NumParams returns the combined policy+critic parameter count.
+func (m *Model) NumParams() int { return m.Policy.NumParams() + m.Critic.NumParams() }
+
+// Weights returns the combined flat weight vector (policy then critic).
+func (m *Model) Weights() []float64 {
+	w := m.Policy.FlattenParams()
+	return append(w, m.Critic.FlattenParams()...)
+}
+
+// SetWeights loads a combined flat weight vector.
+func (m *Model) SetWeights(w []float64) error {
+	np := m.Policy.NumParams()
+	if len(w) != np+m.Critic.NumParams() {
+		return fmt.Errorf("algo: SetWeights length %d != %d", len(w), m.NumParams())
+	}
+	if err := m.Policy.SetParams(w[:np]); err != nil {
+		return err
+	}
+	return m.Critic.SetParams(w[np:])
+}
+
+// Grads returns the combined flat gradient vector (policy then critic).
+func (m *Model) Grads() []float64 {
+	g := m.Policy.FlattenGrads()
+	return append(g, m.Critic.FlattenGrads()...)
+}
+
+// ZeroGrad clears accumulated gradients in both networks.
+func (m *Model) ZeroGrad() {
+	m.Policy.ZeroGrad()
+	m.Critic.ZeroGrad()
+}
+
+// batchMat builds a tensor.Mat view over a batch's observation rows for
+// the given indices.
+func batchMat(obs [][]float64, idx []int) *tensor.Mat {
+	cols := len(obs[0])
+	m := tensor.NewMat(len(idx), cols)
+	for r, i := range idx {
+		copy(m.Row(r), obs[i])
+	}
+	return m
+}
+
+// Values runs the critic over all observations in b and returns V(s_t).
+func (m *Model) Values(b *replay.Batch) []float64 {
+	n := b.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := m.Critic.Forward(batchMat(b.Obs, idx))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = out.At(i, 0)
+	}
+	return v
+}
+
+// ActGreedy returns the mode action for one observation (evaluation).
+func (m *Model) ActGreedy(obs []float64) []float64 {
+	in := tensor.MatFrom(1, len(obs), obs)
+	params := m.Policy.Forward(in)
+	return m.Dist.Mode(params.Row(0))
+}
+
+// Act samples an action for one observation, returning the action, its
+// log-probability and the distribution parameter row (copied).
+func (m *Model) Act(obs []float64, r *rng.RNG) (action []float64, logProb float64, params []float64) {
+	in := tensor.MatFrom(1, len(obs), obs)
+	out := m.Policy.Forward(in)
+	row := out.Row(0)
+	params = make([]float64, len(row))
+	copy(params, row)
+	action = m.Dist.Sample(params, r)
+	logProb = m.Dist.LogProb(params, action)
+	return action, logProb, params
+}

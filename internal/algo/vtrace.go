@@ -1,0 +1,43 @@
+package algo
+
+import "math"
+
+// VTrace computes the off-policy corrected value targets and policy-
+// gradient advantages of Espeholt et al. (IMPALA), which IMPACT builds
+// on. rhos are per-step importance ratios π(a|s)/μ(a|s); rhoBar and cBar
+// are the truncation levels (both 1.0 in IMPALA and IMPACT). dones mark
+// bootstrap boundaries. Returned vs has len(values) entries; pgAdv is
+// the advantage ρ_t(r_t + γ·vs_{t+1} - V_t) used by the surrogate.
+func VTrace(rewards, values, rhos []float64, dones []bool, gamma, rhoBar, cBar float64) (vs, pgAdv []float64) {
+	n := len(rewards)
+	if len(values) != n || len(rhos) != n || len(dones) != n {
+		panic("algo: VTrace length mismatch")
+	}
+	vs = make([]float64, n)
+	pgAdv = make([]float64, n)
+	// Backward recursion: vs_t - V_t = δ_t + γ c_t (vs_{t+1} - V_{t+1}).
+	var acc float64 // vs_{t+1} - V_{t+1}
+	for t := n - 1; t >= 0; t-- {
+		nextV := 0.0
+		if t < n-1 && !dones[t] {
+			nextV = values[t+1]
+		}
+		if dones[t] {
+			acc = 0
+		}
+		rho := math.Min(rhos[t], rhoBar)
+		c := math.Min(rhos[t], cBar)
+		delta := rho * (rewards[t] + gamma*nextV - values[t])
+		acc = delta + gamma*c*acc
+		vs[t] = values[t] + acc
+	}
+	for t := 0; t < n; t++ {
+		var nextVS float64
+		if t < n-1 && !dones[t] {
+			nextVS = vs[t+1]
+		}
+		rho := math.Min(rhos[t], rhoBar)
+		pgAdv[t] = rho * (rewards[t] + gamma*nextVS - values[t])
+	}
+	return vs, pgAdv
+}

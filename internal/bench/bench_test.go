@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("fig99", Options{Out: io.Discard}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := Run("table3", Options{}); err == nil {
+		t.Fatal("nil Out accepted")
+	}
+}
+
+func TestNamesAndDescribe(t *testing.T) {
+	names := Names()
+	if len(names) != 21 {
+		t.Fatalf("have %d experiments, want 21 (figures, tables, theorems)", len(names))
+	}
+	for _, n := range names {
+		if Describe(n) == "" {
+			t.Fatalf("experiment %q has no description", n)
+		}
+	}
+}
+
+func TestTablesRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table3", Options{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"5e-05", "0.0005", "4096", "adam"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table3 output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := Run("table2", Options{Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FC 2x256 Tanh") {
+		t.Fatal("table2 output missing MLP row")
+	}
+}
+
+func TestBaseConfigScales(t *testing.T) {
+	small := baseConfig("hopper", "ppo", "small", 1, 0)
+	if small.Hidden != 64 || small.BatchSize != 512 || small.LearningRate == 0 {
+		t.Fatalf("small config %+v", small)
+	}
+	img := baseConfig("invaders", "ppo", "small", 1, 0)
+	if img.FrameSize != 20 || img.BatchSize != 128 {
+		t.Fatalf("small image config %+v", img)
+	}
+	paper := baseConfig("hopper", "ppo", "paper", 1, 0)
+	if paper.Hidden != 0 || paper.NumActors != 128 || paper.Rounds != 50 {
+		t.Fatalf("paper config %+v", paper)
+	}
+	if r := baseConfig("hopper", "ppo", "small", 1, 5); r.Rounds != 5 {
+		t.Fatal("rounds override ignored")
+	}
+}
+
+func TestContinuousEnvClassifier(t *testing.T) {
+	for _, e := range []string{"hopper", "walker2d", "humanoid"} {
+		if !continuousEnv(e) {
+			t.Fatalf("%s should be continuous", e)
+		}
+	}
+	for _, e := range []string{"invaders", "qberta", "gravitas"} {
+		if continuousEnv(e) {
+			t.Fatalf("%s should be discrete", e)
+		}
+	}
+}
+
+func TestOscillationStat(t *testing.T) {
+	if got := oscillation([]float64{0, 2, 0, 2}); got != 2 {
+		t.Fatalf("oscillation = %v", got)
+	}
+	if oscillation([]float64{5}) != 0 {
+		t.Fatal("single-point oscillation nonzero")
+	}
+}
+
+func TestRatioOrInf(t *testing.T) {
+	if ratioOrInf(4, 2) != 2 || ratioOrInf(1, 0) != 0 {
+		t.Fatal("ratioOrInf wrong")
+	}
+}
+
+// TestFig3cRunsTiny exercises one full experiment runner end to end at a
+// micro scale.
+func TestFig3cRunsTiny(t *testing.T) {
+	var buf bytes.Buffer
+	err := Run("fig3c", Options{Out: &buf, Rounds: 1, Seeds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sync learners") || !strings.Contains(out, "async learners") {
+		t.Fatalf("fig3c output incomplete:\n%s", out)
+	}
+}
+
+func TestTrainSeedsAveraging(t *testing.T) {
+	cfg := baseConfig("cartpole", "ppo", "small", 1, 1)
+	cfg.NumActors = 4
+	cfg.ActorSteps = 32
+	cfg.BatchSize = 128
+	cfg.Hidden = 16
+	res, err := trainSeeds(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.rewards) == 0 || res.wall <= 0 || res.cost <= 0 {
+		t.Fatalf("trainSeeds result %+v", res)
+	}
+}
+
+// TestAllExperimentsRunTiny drives every registered experiment end to
+// end at micro scale, catching wiring regressions in any runner. It is
+// the slowest test in the repository; -short skips it.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro experiment sweep skipped in -short mode")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			opt := Options{Out: &buf, Rounds: 1, Seeds: 1, Envs: []string{"cartpole"}}
+			if err := Run(name, opt); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+
+	"stellaris/internal/core"
+	"stellaris/internal/metrics"
+)
+
+// Fig11a reproduces the aggregation ablation: Stellaris's adaptive
+// threshold vs Softsync, SSP and pure async, all on serverless learners
+// (PPO, Hopper). Expected shape: pure async trains fastest in wall time
+// but converges worst; Stellaris reaches the best cumulative reward.
+func Fig11a(opt Options) error {
+	fmt.Fprintln(opt.Out, "Fig. 11a — gradient aggregation ablation (PPO, Hopper)")
+	// The paper's plot shares a wall-clock axis: every method gets the
+	// virtual-time budget Stellaris needs for the scale's round count.
+	var budget float64
+	var chart []metrics.Series
+	for i, agg := range []core.AggregatorKind{
+		core.AggStellaris, core.AggSoftsync, core.AggSSP, core.AggAsync,
+	} {
+		cfg := baseConfig("hopper", "ppo", opt.Scale, 71, opt.Rounds)
+		cfg.Aggregator = agg
+		cfg.ServerlessLearners = true
+		if opt.Scale == "small" {
+			// Staleness control only matters when staleness occurs:
+			// oversubscribe the learners as the paper's testbed does
+			// (128 actors feeding 8 learners).
+			cfg.NumActors = 32
+			cfg.GPUs = 2
+		}
+		if i > 0 {
+			cfg.WallBudgetSec = budget
+			cfg.Rounds *= 8
+		}
+		res, err := trainSeeds(cfg, opt.Seeds)
+		if err != nil {
+			return fmt.Errorf("%s: %w", agg, err)
+		}
+		if i == 0 {
+			budget = res.wall
+		}
+		fmt.Fprintf(opt.Out, "%-10s final %8.2f  cost $%7.4f  wall %7.1fs  rounds %d\n",
+			agg, res.final, res.cost, res.wall, len(res.rewards))
+		printSeries(opt.Out, "  reward", res.rewards)
+		chart = append(chart, metrics.Series{Name: string(agg), Points: res.rewards})
+	}
+	metrics.Plot(opt.Out, "reward at equal wall-clock", 10, 64, chart...)
+	return nil
+}
+
+// Fig11b reproduces the importance-sampling truncation ablation:
+// Stellaris with and without Eq. 2. Expected shape: without truncation,
+// training is less stable (larger round-to-round oscillation) and ends
+// lower.
+func Fig11b(opt Options) error {
+	fmt.Fprintln(opt.Out, "Fig. 11b — importance-sampling truncation ablation (PPO, Hopper)")
+	for _, v := range []struct {
+		name    string
+		disable bool
+	}{
+		{"stellaris", false},
+		{"no-truncation", true},
+	} {
+		cfg := baseConfig("hopper", "ppo", opt.Scale, 83, opt.Rounds)
+		cfg.ServerlessLearners = true
+		cfg.DisableTruncation = v.disable
+		rewards, final, _, err := trainMean(cfg, opt.Seeds)
+		if err != nil {
+			return err
+		}
+		osc := oscillation(rewards)
+		fmt.Fprintf(opt.Out, "%-14s final %8.2f  oscillation %7.2f\n", v.name, final, osc)
+		printSeries(opt.Out, "  reward", rewards)
+	}
+	return nil
+}
+
+// oscillation is the mean absolute round-to-round reward change, the
+// instability statistic Fig. 11b's curves visualize.
+func oscillation(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var s float64
+	for i := 1; i < len(xs); i++ {
+		d := xs[i] - xs[i-1]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// sensitivity runs the Fig. 13 pattern: sweep one Stellaris parameter,
+// report final reward and cost per value.
+func sensitivity(opt Options, title string, values []float64,
+	apply func(*core.Config, float64)) error {
+	fmt.Fprintln(opt.Out, title)
+	for _, v := range values {
+		cfg := baseConfig("hopper", "ppo", opt.Scale, 97, opt.Rounds)
+		cfg.ServerlessLearners = true
+		apply(&cfg, v)
+		_, final, cost, err := trainMean(cfg, opt.Seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(opt.Out, "  value %5.2f  final reward %8.2f  cost $%7.4f\n", v, final, cost)
+	}
+	return nil
+}
+
+// Fig13a sweeps the decay factor d in 0.92..1.0 (Eq. 3). The paper finds
+// reward growth saturating at d=0.96 while cost falls with d.
+func Fig13a(opt Options) error {
+	return sensitivity(opt, "Fig. 13a — sensitivity to decay factor d",
+		[]float64{0.92, 0.94, 0.96, 0.98, 1.0},
+		func(c *core.Config, v float64) { c.DecayD = v })
+}
+
+// Fig13b sweeps the learning-rate smoothness v in 1..4 (Eq. 4). The
+// paper finds the optimum at v=3.
+func Fig13b(opt Options) error {
+	return sensitivity(opt, "Fig. 13b — sensitivity to smoothness factor v",
+		[]float64{1, 2, 3, 4},
+		func(c *core.Config, v float64) { c.SmoothV = int(v) })
+}
+
+// Fig13c sweeps the truncation threshold rho in 0.6..1.2 (Eq. 2). The
+// paper finds the optimum at rho=1.0.
+func Fig13c(opt Options) error {
+	return sensitivity(opt, "Fig. 13c — sensitivity to truncation threshold rho",
+		[]float64{0.6, 0.8, 1.0, 1.2},
+		func(c *core.Config, v float64) { c.Rho = v })
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+
+	"stellaris/internal/core"
+)
+
+// Fig2 reproduces the motivation study (§II-C): PPO in Hopper under four
+// architecture variants toggling asynchronous learning and serverless
+// computing. The paper's claim: the two features *jointly* deliver the
+// best reward at the lowest cost.
+func Fig2(opt Options) error {
+	base := baseConfig("hopper", "ppo", opt.Scale, 1, opt.Rounds)
+	type variant struct {
+		name string
+		mut  func(core.Config) core.Config
+	}
+	variants := []variant{
+		{"sync+serverful (RLlib)", func(c core.Config) core.Config {
+			c.Aggregator = core.AggSync
+			return c
+		}},
+		{"async+serverful", func(c core.Config) core.Config {
+			c.Aggregator = core.AggStellaris
+			return c
+		}},
+		{"sync+serverless", func(c core.Config) core.Config {
+			c.Aggregator = core.AggSync
+			c.ServerlessLearners = true
+			c.ServerlessActors = true
+			return c
+		}},
+		{"async+serverless (ours)", func(c core.Config) core.Config {
+			c.Aggregator = core.AggStellaris
+			c.ServerlessLearners = true
+			c.ServerlessActors = true
+			return c
+		}},
+	}
+	fmt.Fprintln(opt.Out, "Fig. 2 — benefits of asynchronous serverless learners (PPO, Hopper)")
+	// As in the paper's plot, all variants share the wall-clock window
+	// the synchronous serverful baseline needs for its round budget.
+	var budget float64
+	for i, v := range variants {
+		cfg := v.mut(base)
+		if i > 0 {
+			cfg.WallBudgetSec = budget
+			cfg.Rounds = base.Rounds * 8
+		}
+		res, err := trainSeeds(cfg, opt.Seeds)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			budget = res.wall
+		}
+		fmt.Fprintf(opt.Out, "%-26s final reward %8.2f   cost $%8.4f   wall %6.0fs\n",
+			v.name, res.final, res.cost, res.wall)
+		printSeries(opt.Out, "  reward/round", res.rewards)
+	}
+	return nil
+}
+
+// Fig3a reproduces the learner-orchestration characterization: total
+// learning time and GPU utilization across a #learners x #actors grid.
+// Expected shape: more learners cut learning time at high actor counts
+// but waste GPU (low utilization) at low actor counts.
+func Fig3a(opt Options) error {
+	learners := []int{2, 4, 6, 8}
+	actors := []int{8, 16, 24, 32}
+	if opt.Scale == "small" {
+		actors = []int{4, 8, 16, 24}
+	}
+	fmt.Fprintln(opt.Out, "Fig. 3a — learning time (s) and GPU utilization vs learners x actors (PPO, Hopper)")
+	fmt.Fprintf(opt.Out, "%-10s", "learners")
+	for _, a := range actors {
+		fmt.Fprintf(opt.Out, "  actors=%-3d        ", a)
+	}
+	fmt.Fprintln(opt.Out)
+	for _, l := range learners {
+		fmt.Fprintf(opt.Out, "%-10d", l)
+		for _, a := range actors {
+			cfg := baseConfig("hopper", "ppo", opt.Scale, 11, opt.Rounds)
+			cfg.NumActors = a
+			cfg.GPUs = 1
+			cfg.LearnersPerGPU = l
+			cfg.ServerlessLearners = true
+			t, err := core.NewTrainer(cfg)
+			if err != nil {
+				return err
+			}
+			res, err := t.Run()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(opt.Out, "  %7.1fs %4.0f%%util", res.LearnerTime, 100*res.LearnerUtilization)
+		}
+		fmt.Fprintln(opt.Out)
+	}
+	return nil
+}
+
+// Fig3b reproduces the staleness characterization: the PDF of gradient
+// staleness under pure asynchronous learning for growing learner counts.
+// Expected shape: the distribution shifts right as learners grow.
+func Fig3b(opt Options) error {
+	fmt.Fprintln(opt.Out, "Fig. 3b — staleness PDF vs #learners (PPO, Hopper, pure async)")
+	for _, l := range []int{2, 4, 8} {
+		cfg := baseConfig("hopper", "ppo", opt.Scale, 23, opt.Rounds)
+		cfg.GPUs = 1
+		cfg.LearnersPerGPU = l
+		cfg.NumActors = 4 * l
+		cfg.Aggregator = core.AggAsync
+		cfg.ServerlessLearners = true
+		t, err := core.NewTrainer(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := t.Run()
+		if err != nil {
+			return err
+		}
+		values, probs := res.Staleness.PDF()
+		fmt.Fprintf(opt.Out, "learners=%d  mean=%.2f  p95=%d\n", l, res.Staleness.Mean(), res.Staleness.Quantile(0.95))
+		for i, v := range values {
+			fmt.Fprintf(opt.Out, "  staleness %2d  p=%.3f\n", v, probs[i])
+		}
+	}
+	return nil
+}
+
+// Fig3c reproduces the policy-update characterization: KL divergence
+// between successive policies under synchronous vs asynchronous
+// learners. Expected shape: async learners take larger KL steps.
+func Fig3c(opt Options) error {
+	fmt.Fprintln(opt.Out, "Fig. 3c — per-update KL(π_k+1 ‖ π_k), sync vs async learners (PPO, Hopper)")
+	var budget float64
+	for i, mode := range []struct {
+		name string
+		agg  core.AggregatorKind
+	}{
+		{"sync learners", core.AggSync},
+		{"async learners", core.AggAsync},
+	} {
+		cfg := baseConfig("hopper", "ppo", opt.Scale, 31, opt.Rounds)
+		cfg.Aggregator = mode.agg
+		cfg.ServerlessLearners = true
+		cfg.TrackKL = true
+		if i > 0 {
+			// Same wall-clock window as the synchronous run: the async
+			// learners fit more (and solo, unaveraged) updates into it.
+			cfg.WallBudgetSec = budget
+			cfg.Rounds *= 8
+		}
+		t, err := core.NewTrainer(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := t.Run()
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			budget = res.WallSec
+		}
+		var sum, max float64
+		for _, kl := range res.KLTrace {
+			sum += kl
+			if kl > max {
+				max = kl
+			}
+		}
+		mean := 0.0
+		if len(res.KLTrace) > 0 {
+			mean = sum / float64(len(res.KLTrace))
+		}
+		rate := 0.0
+		if res.WallSec > 0 {
+			rate = sum / res.WallSec
+		}
+		// Asynchrony shows up both as larger individual steps (solo
+		// gradients vs sync's averaged groups) and as a higher policy-
+		// drift *rate* (more updates per unit time).
+		fmt.Fprintf(opt.Out, "%-16s updates=%4d  mean KL %.3e  max KL %.3e  KL/sec %.3e\n",
+			mode.name, len(res.KLTrace), mean, max, rate)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package cache
+
+import (
+	"testing"
+
+	"stellaris/internal/replay"
+)
+
+func BenchmarkMemCachePutGet(b *testing.B) {
+	c := NewMemCache()
+	val := make([]byte, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put("k", val); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Get("k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetRoundTrip measures one weights-sized PUT+GET over the real
+// TCP protocol — the learner's policy-pull path.
+func BenchmarkNetRoundTrip(b *testing.B) {
+	srv := NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	val := make([]byte, 1<<17) // ~130 KB ≈ a small policy
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Put("weights", val); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cli.Get("weights"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDecodeTrajectory(b *testing.B) {
+	traj := &replay.Trajectory{ActorID: 1, PolicyVersion: 2}
+	for i := 0; i < 128; i++ {
+		traj.Steps = append(traj.Steps, replay.Step{
+			Obs:        make([]float64, 11),
+			Action:     make([]float64, 3),
+			Reward:     1,
+			LogProb:    -0.5,
+			DistParams: make([]float64, 6),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := EncodeTrajectory(traj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeTrajectory(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package cache implements Stellaris's Distributed Cache — the
+// in-memory key-value buffer (Redis in the paper, §VII) that carries
+// trajectories, gradients and policy weights between actors, learner
+// functions and the parameter function.
+//
+// Two implementations share the Cache interface: MemCache, an in-process
+// store used by the simulator, and Client, a TCP client speaking a
+// small length-prefixed protocol to the standalone server in
+// cmd/stellaris-cached (the Redis stand-in). Values are opaque byte
+// slices; the Codec helpers gob-encode the structured payloads.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound reports a missing key.
+type ErrNotFound struct{ Key string }
+
+func (e ErrNotFound) Error() string { return fmt.Sprintf("cache: key %q not found", e.Key) }
+
+// Cache is the key-value surface shared by the in-process store and the
+// network client.
+type Cache interface {
+	// Put stores val under key, replacing any previous value.
+	Put(key string, val []byte) error
+	// Get returns the value under key or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Delete removes key (no error if absent).
+	Delete(key string) error
+	// Incr atomically increments the counter at key and returns the new
+	// value (missing keys start at zero).
+	Incr(key string) (int64, error)
+	// Keys returns all keys with the given prefix, sorted.
+	Keys(prefix string) ([]string, error)
+	// Len returns the number of stored keys.
+	Len() (int, error)
+}
+
+// MemCache is an in-process Cache safe for concurrent use.
+type MemCache struct {
+	mu       sync.RWMutex
+	data     map[string][]byte
+	counters map[string]int64
+}
+
+// NewMemCache returns an empty in-process cache.
+func NewMemCache() *MemCache {
+	return &MemCache{
+		data:     make(map[string][]byte),
+		counters: make(map[string]int64),
+	}
+}
+
+// Put implements Cache.
+func (c *MemCache) Put(key string, val []byte) error {
+	cp := make([]byte, len(val))
+	copy(cp, val)
+	c.mu.Lock()
+	c.data[key] = cp
+	c.mu.Unlock()
+	return nil
+}
+
+// Get implements Cache.
+func (c *MemCache) Get(key string) ([]byte, error) {
+	c.mu.RLock()
+	v, ok := c.data[key]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound{Key: key}
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, nil
+}
+
+// Delete implements Cache.
+func (c *MemCache) Delete(key string) error {
+	c.mu.Lock()
+	delete(c.data, key)
+	c.mu.Unlock()
+	return nil
+}
+
+// Incr implements Cache.
+func (c *MemCache) Incr(key string) (int64, error) {
+	c.mu.Lock()
+	c.counters[key]++
+	v := c.counters[key]
+	c.mu.Unlock()
+	return v, nil
+}
+
+// Keys implements Cache.
+func (c *MemCache) Keys(prefix string) ([]string, error) {
+	c.mu.RLock()
+	var out []string
+	for k := range c.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// Len implements Cache.
+func (c *MemCache) Len() (int, error) {
+	c.mu.RLock()
+	n := len(c.data)
+	c.mu.RUnlock()
+	return n, nil
+}

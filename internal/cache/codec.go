@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"stellaris/internal/replay"
+)
+
+// The cache stores three structured payload families, mirroring the
+// paper's Redis usage: trajectory sample batches (actors → learners),
+// gradients (learners → parameter function), and policy weight vectors
+// (parameter function → everyone). gob plays the role Pickle plays in
+// the paper's implementation.
+
+// WeightsMsg is a versioned policy weight vector.
+type WeightsMsg struct {
+	Version int
+	Weights []float64
+}
+
+// GradMsg is one learner function's output.
+type GradMsg struct {
+	LearnerID int
+	// BornVersion is the policy version the learner pulled before
+	// computing; staleness at aggregation is current - BornVersion.
+	BornVersion int
+	Grad        []float64
+	Samples     int
+	// MeanRatio and MinRatio summarize the learner's importance ratios
+	// for the truncation tracker (Eq. 2's group view).
+	MeanRatio float64
+	MinRatio  float64
+	KL        float64
+	Entropy   float64
+}
+
+// EncodeTrajectory gob-encodes a trajectory.
+func EncodeTrajectory(t *replay.Trajectory) ([]byte, error) { return encode(t) }
+
+// DecodeTrajectory decodes a trajectory payload.
+func DecodeTrajectory(b []byte) (*replay.Trajectory, error) {
+	var t replay.Trajectory
+	if err := decode(b, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// EncodeWeights gob-encodes a weight message.
+func EncodeWeights(w *WeightsMsg) ([]byte, error) { return encode(w) }
+
+// DecodeWeights decodes a weight payload.
+func DecodeWeights(b []byte) (*WeightsMsg, error) {
+	var w WeightsMsg
+	if err := decode(b, &w); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// EncodeGrad gob-encodes a gradient message.
+func EncodeGrad(g *GradMsg) ([]byte, error) { return encode(g) }
+
+// DecodeGrad decodes a gradient payload.
+func DecodeGrad(b []byte) (*GradMsg, error) {
+	var g GradMsg
+	if err := decode(b, &g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+func encode(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("cache: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(b []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("cache: decode: %w", err)
+	}
+	return nil
+}

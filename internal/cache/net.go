@@ -1,0 +1,319 @@
+package cache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Wire protocol (the Redis stand-in): each message is a length-prefixed
+// frame. Requests are  [u32 frameLen][u8 op][u32 keyLen][key][value] and
+// responses are       [u32 frameLen][u8 status][payload].
+// Ops: 'P' put, 'G' get, 'D' delete, 'I' incr, 'K' keys, 'L' len.
+// Status: '+' ok, '-' not found, '!' error (payload = message).
+
+const maxFrame = 256 << 20 // 256 MiB guards against corrupt length words
+
+type frame struct {
+	op    byte
+	key   string
+	value []byte
+}
+
+func writeFrame(w io.Writer, op byte, key string, value []byte) error {
+	total := 1 + 4 + len(key) + len(value)
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
+	hdr[4] = op
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(key)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, key); err != nil {
+		return err
+	}
+	_, err := w.Write(value)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 5 || total > maxFrame {
+		return frame{}, fmt.Errorf("cache: bad frame length %d", total)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	op := body[0]
+	keyLen := binary.BigEndian.Uint32(body[1:5])
+	if 5+keyLen > total {
+		return frame{}, fmt.Errorf("cache: bad key length %d in frame %d", keyLen, total)
+	}
+	return frame{
+		op:    op,
+		key:   string(body[5 : 5+keyLen]),
+		value: body[5+keyLen:],
+	}, nil
+}
+
+func writeResp(w io.Writer, status byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(1+len(payload)))
+	hdr[4] = status
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readResp(r io.Reader) (byte, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 1 || total > maxFrame {
+		return 0, nil, fmt.Errorf("cache: bad response length %d", total)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// Server serves a MemCache over TCP.
+type Server struct {
+	store *MemCache
+	ln    net.Listener
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	done  bool
+}
+
+// NewServer wraps store (nil allocates a fresh MemCache).
+func NewServer(store *MemCache) *Server {
+	if store == nil {
+		store = NewMemCache()
+	}
+	return &Server{store: store}
+}
+
+// Listen starts accepting connections on addr ("host:port"; port 0 picks
+// a free port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if err := s.handle(bw, f); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(w io.Writer, f frame) error {
+	switch f.op {
+	case 'P':
+		_ = s.store.Put(f.key, f.value)
+		return writeResp(w, '+', nil)
+	case 'G':
+		v, err := s.store.Get(f.key)
+		if err != nil {
+			return writeResp(w, '-', nil)
+		}
+		return writeResp(w, '+', v)
+	case 'D':
+		_ = s.store.Delete(f.key)
+		return writeResp(w, '+', nil)
+	case 'I':
+		v, _ := s.store.Incr(f.key)
+		return writeResp(w, '+', []byte(strconv.FormatInt(v, 10)))
+	case 'K':
+		keys, _ := s.store.Keys(f.key)
+		return writeResp(w, '+', []byte(strings.Join(keys, "\n")))
+	case 'L':
+		n, _ := s.store.Len()
+		return writeResp(w, '+', []byte(strconv.Itoa(n)))
+	default:
+		return writeResp(w, '!', []byte(fmt.Sprintf("unknown op %q", f.op)))
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return nil
+	}
+	s.done = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a Cache backed by a remote Server. Safe for concurrent use;
+// requests serialize over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a cache server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, op, key, value); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return readResp(c.br)
+}
+
+// Put implements Cache.
+func (c *Client) Put(key string, val []byte) error {
+	status, payload, err := c.roundTrip('P', key, val)
+	return respErr(status, payload, err, key)
+}
+
+// Get implements Cache.
+func (c *Client) Get(key string) ([]byte, error) {
+	status, payload, err := c.roundTrip('G', key, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status == '-' {
+		return nil, ErrNotFound{Key: key}
+	}
+	if status != '+' {
+		return nil, errors.New(string(payload))
+	}
+	return payload, nil
+}
+
+// Delete implements Cache.
+func (c *Client) Delete(key string) error {
+	status, payload, err := c.roundTrip('D', key, nil)
+	return respErr(status, payload, err, key)
+}
+
+// Incr implements Cache.
+func (c *Client) Incr(key string) (int64, error) {
+	status, payload, err := c.roundTrip('I', key, nil)
+	if err != nil {
+		return 0, err
+	}
+	if status != '+' {
+		return 0, errors.New(string(payload))
+	}
+	return strconv.ParseInt(string(payload), 10, 64)
+}
+
+// Keys implements Cache.
+func (c *Client) Keys(prefix string) ([]string, error) {
+	status, payload, err := c.roundTrip('K', prefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != '+' {
+		return nil, errors.New(string(payload))
+	}
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(payload), "\n"), nil
+}
+
+// Len implements Cache.
+func (c *Client) Len() (int, error) {
+	status, payload, err := c.roundTrip('L', "", nil)
+	if err != nil {
+		return 0, err
+	}
+	if status != '+' {
+		return 0, errors.New(string(payload))
+	}
+	return strconv.Atoi(string(payload))
+}
+
+func respErr(status byte, payload []byte, err error, key string) error {
+	if err != nil {
+		return err
+	}
+	if status == '-' {
+		return ErrNotFound{Key: key}
+	}
+	if status != '+' {
+		return errors.New(string(payload))
+	}
+	return nil
+}

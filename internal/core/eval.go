@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"stellaris/internal/algo"
+	"stellaris/internal/env"
+	"stellaris/internal/metrics"
+	"stellaris/internal/rng"
+)
+
+// EvalReport summarizes greedy-policy evaluation rollouts.
+type EvalReport struct {
+	Episodes   int
+	MeanReturn float64
+	StdReturn  float64
+	MeanLength float64
+	Returns    []float64
+}
+
+// Evaluate rolls out a trained policy greedily (mode actions) for the
+// given number of episodes on cfg's environment and reports the returns.
+// weights must come from Result.FinalWeights (or any vector matching the
+// architecture).
+func Evaluate(cfg Config, weights []float64, episodes int, seed uint64) (*EvalReport, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if episodes <= 0 {
+		episodes = 10
+	}
+	e, err := env.NewSized(cfg.Env, cfg.FrameSize)
+	if err != nil {
+		return nil, err
+	}
+	m := algo.NewModelHidden(e, cfg.Hidden, seed)
+	if err := m.SetWeights(weights); err != nil {
+		return nil, fmt.Errorf("core: Evaluate: %w", err)
+	}
+	r := rng.New(seed)
+
+	rep := &EvalReport{Episodes: episodes}
+	var totalLen int
+	for ep := 0; ep < episodes; ep++ {
+		obs := e.Reset(r)
+		var ret float64
+		for {
+			action := m.ActGreedy(obs)
+			next, rew, done := e.Step(action)
+			ret += rew
+			totalLen++
+			if done {
+				break
+			}
+			obs = next
+		}
+		rep.Returns = append(rep.Returns, ret)
+	}
+	rep.MeanReturn, rep.StdReturn = metrics.MeanStd(rep.Returns)
+	rep.MeanLength = float64(totalLen) / float64(episodes)
+	return rep, nil
+}

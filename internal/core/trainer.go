@@ -1,0 +1,879 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"stellaris/internal/algo"
+	"stellaris/internal/autoscale"
+	"stellaris/internal/cache"
+	"stellaris/internal/env"
+	"stellaris/internal/istrunc"
+	"stellaris/internal/metrics"
+	"stellaris/internal/profile"
+	"stellaris/internal/replay"
+	"stellaris/internal/rng"
+	"stellaris/internal/serverless"
+	"stellaris/internal/simclock"
+	"stellaris/internal/stale"
+	"stellaris/internal/tensor"
+
+	"stellaris/internal/optim"
+)
+
+// Latency-breakdown component names (Fig. 14).
+const (
+	CompActorSample = "actor_sample"
+	CompPolicyPull  = "policy_pull"
+	CompDataLoad    = "data_load"
+	CompGradCompute = "grad_compute"
+	CompGradSubmit  = "grad_submit"
+	CompAggregate   = "aggregate"
+	CompBroadcast   = "broadcast"
+)
+
+// BreakdownComponents lists the Fig. 14 components in reporting order.
+var BreakdownComponents = []string{
+	CompActorSample, CompPolicyPull, CompDataLoad,
+	CompGradCompute, CompGradSubmit, CompAggregate, CompBroadcast,
+}
+
+// Result is the output of one training run.
+type Result struct {
+	Config Config
+	// Rounds holds the per-round CSV rows (artifact schema).
+	Rounds *metrics.Recorder
+	// Staleness is the distribution of gradient staleness at
+	// aggregation (Fig. 3b).
+	Staleness *metrics.Histogram
+	// KLTrace is KL(π_{k+1} ‖ π_k) per update when TrackKL is set
+	// (Fig. 3c).
+	KLTrace []float64
+	// FinalReward is the mean reward over the last rounds (training
+	// quality, the paper's headline metric).
+	FinalReward float64
+	// TotalCostUSD is the training cost under the paper's model.
+	TotalCostUSD float64
+	// WallSec is elapsed virtual time.
+	WallSec float64
+	// LearnerUtilization is the busy fraction of learner slots
+	// (Fig. 3a's GPU utilization).
+	LearnerUtilization float64
+	// LearnerTime is total virtual time spent inside learner functions
+	// (Fig. 3a's total learning time).
+	LearnerTime float64
+	// Breakdown is per-component latency (Fig. 14).
+	Breakdown *metrics.Breakdown
+	// Episodes is the number of completed episodes.
+	Episodes int
+	// LearnerInvocations counts learner function executions.
+	LearnerInvocations int
+	// ColdStarts counts cold container starts across pools.
+	ColdStarts int
+	// Failures counts injected invocation crashes across pools.
+	Failures int
+	// Profile summarizes per-function-kind execution statistics
+	// collected by the §VII profiler.
+	Profile []profile.Summary
+	// FinalWeights is the trained policy+critic weight vector, loadable
+	// via Config.InitWeights or evaluated with Evaluate.
+	FinalWeights []float64
+}
+
+type pendingBatch struct {
+	batch *replay.Batch
+}
+
+// Trainer runs one configuration to completion on a private DES. It is
+// single-goroutine by construction (the DES owns all state).
+type Trainer struct {
+	cfg   Config
+	clock *simclock.Clock
+	plat  *serverless.Platform
+	lat   *serverless.LatencyModel
+	kv    cache.Cache
+
+	alg     algo.Algorithm
+	work    *algo.Model // shared compute replica (sequential use only)
+	master  []float64
+	target  []float64 // IMPACT surrogate target network
+	opt     optim.Optimizer
+	aggPol  stale.Policy
+	tracker *istrunc.Tracker
+	version int
+
+	envs       []env.Env
+	actorRngs  []*rng.RNG
+	actorObs   [][]float64
+	actorEpRet []float64
+	learnerRng *rng.RNG
+	timeRng    *rng.RNG
+
+	activeActors int
+	parked       []int
+
+	recent   []float64 // ring of recent episode returns
+	recentAt int
+	recentN  int
+	episodes int
+
+	pendingTraj  []*replay.Trajectory
+	pendingSteps int
+	outstanding  map[int]int
+	gated        []pendingBatch
+	waiting      []int
+	learnerSeq   int
+
+	roundStart    float64
+	invokedRound  int
+	roundStaleSum float64
+	roundUpdates  int
+	learnerTime   float64
+
+	rec       *metrics.Recorder
+	hist      *metrics.Histogram
+	breakdown *metrics.Breakdown
+	klTrace   []float64
+	probe     [][]float64
+	prof      *profile.Set
+
+	batchSize   int
+	targetEvery int
+	klCoef      float64 // adaptive KL coefficient (RLlib-style)
+	done        bool
+	runErr      error
+}
+
+// NewTrainer validates cfg and assembles a trainer.
+func NewTrainer(cfg Config) (*Trainer, error) {
+	cfg, err := cfg.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{
+		cfg:         cfg,
+		clock:       simclock.New(),
+		kv:          cache.NewMemCache(),
+		outstanding: make(map[int]int),
+		rec:         metrics.NewRecorder(),
+		hist:        metrics.NewHistogram(),
+		breakdown:   metrics.NewBreakdown(BreakdownComponents...),
+		prof:        profile.NewSet(),
+	}
+	t.lat = cfg.Latency
+	if t.lat == nil {
+		t.lat = serverless.DefaultLatencyModel()
+	}
+
+	// Environments: one per actor plus one template for model shapes.
+	template, err := env.NewSized(cfg.Env, cfg.FrameSize)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	t.envs = make([]env.Env, cfg.NumActors)
+	t.actorRngs = make([]*rng.RNG, cfg.NumActors)
+	t.actorObs = make([][]float64, cfg.NumActors)
+	t.actorEpRet = make([]float64, cfg.NumActors)
+	for i := range t.envs {
+		e, err := env.NewSized(cfg.Env, cfg.FrameSize)
+		if err != nil {
+			return nil, err
+		}
+		t.envs[i] = e
+		t.actorRngs[i] = root.Split(uint64(1000 + i))
+	}
+	t.learnerRng = root.Split(2)
+	t.timeRng = root.Split(3)
+
+	// Algorithm and model.
+	continuous := template.ActionSpace().Continuous
+	switch cfg.Algo {
+	case "ppo":
+		t.alg = algo.NewPPO(continuous)
+	case "impact":
+		t.alg = algo.NewIMPACT(continuous)
+	}
+	t.work = algo.NewModelHidden(template, cfg.Hidden, cfg.Seed)
+	t.master = t.work.Weights()
+	if cfg.InitWeights != nil {
+		if len(cfg.InitWeights) != len(t.master) {
+			return nil, fmt.Errorf("core: InitWeights length %d != model's %d",
+				len(cfg.InitWeights), len(t.master))
+		}
+		copy(t.master, cfg.InitWeights)
+	}
+	if t.alg.NeedsTarget() {
+		t.target = append([]float64(nil), t.master...)
+		f := t.alg.Hyper().TargetUpdateFreq
+		if f <= 0 {
+			f = 1
+		}
+		t.targetEvery = int(math.Max(1, math.Round(1/f)))
+	}
+	t.opt, err = optim.New(t.alg.Hyper().Optimizer, t.alg.Hyper().LearningRate)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LearningRate > 0 {
+		t.opt.SetLR(cfg.LearningRate)
+	}
+	t.klCoef = t.alg.Hyper().KLCoeff
+	t.batchSize = cfg.BatchSize
+	if t.batchSize <= 0 {
+		t.batchSize = t.alg.Hyper().BatchSize
+	}
+
+	// Aggregation policy and truncation tracker.
+	switch cfg.Aggregator {
+	case AggStellaris:
+		s := stale.NewStellaris()
+		s.D, s.V = cfg.DecayD, cfg.SmoothV
+		s.UpdatesPerRound = cfg.UpdatesPerRound
+		s.MaxQueue = maxI(8, 2*cfg.LearnerSlots())
+		t.aggPol = s
+	case AggSoftsync:
+		t.aggPol = stale.NewSoftsync(cfg.SoftsyncC)
+	case AggSSP:
+		t.aggPol = stale.NewSSP(cfg.SSPBound)
+	case AggAsync:
+		t.aggPol = stale.NewPureAsync()
+	case AggSync:
+		group := cfg.SyncGroup
+		if cfg.SyncActors {
+			// Synchronous actors emit a fixed number of batches per
+			// wave; a larger barrier would deadlock the round.
+			perWave := cfg.NumActors * cfg.ActorSteps / t.batchSize
+			if perWave < 1 {
+				perWave = 1
+			}
+			if group > perWave {
+				group = perWave
+			}
+		}
+		t.aggPol = stale.NewFullSync(group)
+	}
+	t.tracker = istrunc.New(cfg.Rho, !cfg.DisableTruncation)
+
+	// Platform pools sized to the testbed (§VIII-A).
+	learnerInst, actorInst := serverless.P32xlarge, serverless.C6a32xlarge
+	if cfg.HPC {
+		learnerInst, actorInst = serverless.P316xlarge, serverless.Hpc7a96xlarge
+	}
+	learnerVMs := ceilDiv(cfg.GPUs, learnerInst.GPUs)
+	actorVMs := ceilDiv(cfg.NumActors, actorInst.CPUCores)
+	t.plat = serverless.NewPlatform(t.clock, t.lat, cfg.Seed^0x5e77a215,
+		serverless.PoolConfig{
+			Kind:             "learner",
+			Instance:         learnerInst,
+			Instances:        learnerVMs,
+			SlotsPerInstance: cfg.LearnersPerGPU * learnerInst.GPUs,
+			Serverless:       cfg.ServerlessLearners,
+		},
+		serverless.PoolConfig{
+			Kind:             "parameter",
+			Instance:         learnerInst,
+			Instances:        1,
+			SlotsPerInstance: maxI(2, learnerInst.GPUs),
+			Serverless:       true,
+		},
+		serverless.PoolConfig{
+			Kind:             "actor",
+			Instance:         actorInst,
+			Instances:        actorVMs,
+			SlotsPerInstance: actorInst.CPUCores,
+			Serverless:       cfg.ServerlessActors,
+		},
+	)
+	t.plat.FailureRate = cfg.FailureRate
+
+	// KL probe states (Fig. 3c) from a short random rollout.
+	if cfg.TrackKL {
+		pr := root.Split(4)
+		e, _ := env.NewSized(cfg.Env, cfg.FrameSize)
+		obs := e.Reset(pr)
+		for i := 0; i < 16; i++ {
+			t.probe = append(t.probe, obs)
+			var a []float64
+			if as := e.ActionSpace(); as.Continuous {
+				a = make([]float64, as.Dim)
+				for j := range a {
+					a[j] = 2*pr.Float64() - 1
+				}
+			} else {
+				a = []float64{float64(pr.Intn(as.N))}
+			}
+			next, _, done := e.Step(a)
+			if done {
+				next = e.Reset(pr)
+			}
+			obs = next
+		}
+	}
+	return t, nil
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		b = 1
+	}
+	return (a + b - 1) / b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Run executes the configured training and returns its result.
+func (t *Trainer) Run() (*Result, error) {
+	// Publish the initial policy and pre-warm containers (§VII).
+	t.publishWeights()
+	t.plat.Prewarm("learner", t.cfg.LearnerSlots())
+	t.plat.Prewarm("parameter", 1)
+	if t.cfg.ServerlessActors {
+		t.plat.Prewarm("actor", t.cfg.NumActors)
+	}
+
+	t.activeActors = t.cfg.NumActors
+	for id := 0; id < t.activeActors; id++ {
+		t.scheduleActor(id)
+	}
+	deadline := t.cfg.MaxVirtualHours * 3600
+	t.clock.RunUntil(deadline)
+	if t.runErr != nil {
+		return nil, t.runErr
+	}
+	if !t.done {
+		if t.clock.Pending() == 0 {
+			return nil, fmt.Errorf("core: training stalled at round %d/%d (aggregator %q waiting for work that cannot arrive)",
+				t.version, t.cfg.Rounds, t.aggPol.Name())
+		}
+		return nil, fmt.Errorf("core: exceeded %v virtual hours at round %d/%d",
+			t.cfg.MaxVirtualHours, t.version, t.cfg.Rounds)
+	}
+
+	learnerStats := t.plat.PoolStats("learner")
+	res := &Result{
+		Config:             t.cfg,
+		Rounds:             t.rec,
+		Staleness:          t.hist,
+		KLTrace:            t.klTrace,
+		FinalReward:        t.rec.FinalReward(5),
+		TotalCostUSD:       t.plat.TotalCost(),
+		WallSec:            t.clock.Now(),
+		LearnerUtilization: learnerStats.Utilization,
+		LearnerTime:        t.learnerTime,
+		Breakdown:          t.breakdown,
+		Episodes:           t.episodes,
+		LearnerInvocations: learnerStats.Invocations,
+		ColdStarts:         learnerStats.ColdStarts,
+	}
+	res.Failures = learnerStats.Failures
+	res.Profile = t.prof.Summaries()
+	res.FinalWeights = append([]float64(nil), t.master...)
+	for _, kind := range t.plat.Kinds() {
+		if kind != "learner" {
+			s := t.plat.PoolStats(kind)
+			res.ColdStarts += s.ColdStarts
+			res.Failures += s.Failures
+		}
+	}
+	return res, nil
+}
+
+// publishWeights writes the current policy to the cache (the paper's
+// Redis hop; the payload also sizes broadcast latency).
+func (t *Trainer) publishWeights() {
+	msg := &cache.WeightsMsg{Version: t.version, Weights: t.master}
+	b, err := cache.EncodeWeights(msg)
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	if err := t.kv.Put("weights/latest", b); err != nil {
+		t.fail(err)
+	}
+}
+
+func (t *Trainer) fail(err error) {
+	if t.runErr == nil {
+		t.runErr = err
+	}
+	t.done = true
+	t.clock.Stop()
+}
+
+// ---- Actors (workflow step 1) ----
+
+// scheduleActor starts one sampling burst for actor id: pull the latest
+// policy, collect ActorSteps transitions, submit the trajectory.
+func (t *Trainer) scheduleActor(id int) {
+	if t.done {
+		return
+	}
+	pulled := t.version
+	traj := t.sampleTrajectory(id)
+	traj.PolicyVersion = pulled
+
+	params := len(t.master)
+	pull := t.lat.TransferTime(8*params, t.timeRng)
+	sample := t.lat.ActorTime(t.cfg.ActorSteps, params, t.timeRng)
+	submit := t.lat.TransferTime(t.trajBytes(traj), t.timeRng)
+	t.breakdown.Add(CompPolicyPull, pull)
+	t.breakdown.Add(CompActorSample, sample)
+	t.breakdown.Add(CompDataLoad, submit)
+	t.prof.For("actor").Observe(pull+sample+submit, t.clock.Now())
+
+	t.plat.InvokeFixed("actor", pull+sample+submit, func(inv serverless.Invocation) {
+		if t.done {
+			return
+		}
+		if inv.Failed {
+			// The sampling burst crashed: its trajectory is lost and
+			// the actor starts over (time and cost already charged).
+			t.scheduleActor(id)
+			return
+		}
+		t.handleTrajectory(traj)
+		if id >= t.activeActors {
+			// The autoscaler shrank the fleet: this actor parks until
+			// a scale-up wakes it.
+			t.parked = append(t.parked, id)
+			return
+		}
+		if t.cfg.SyncActors && t.version == pulled {
+			// Fig. 1(a): synchronous actors wait for the next policy.
+			t.waiting = append(t.waiting, id)
+			return
+		}
+		t.scheduleActor(id)
+	})
+}
+
+// sampleTrajectory performs the actual environment interaction under the
+// current master policy. Real compute happens here; the DES charges its
+// modeled duration separately.
+func (t *Trainer) sampleTrajectory(id int) *replay.Trajectory {
+	if err := t.work.SetWeights(t.master); err != nil {
+		t.fail(err)
+		return &replay.Trajectory{ActorID: id}
+	}
+	e := t.envs[id]
+	r := t.actorRngs[id]
+	obs := t.actorObs[id]
+	if obs == nil {
+		obs = e.Reset(r)
+		t.actorEpRet[id] = 0
+	}
+	traj := &replay.Trajectory{ActorID: id}
+	for i := 0; i < t.cfg.ActorSteps; i++ {
+		action, lp, dp := t.work.Act(obs, r)
+		next, rew, done := e.Step(action)
+		traj.Steps = append(traj.Steps, replay.Step{
+			Obs: obs, Action: action, Reward: rew, Done: done,
+			LogProb: lp, DistParams: dp,
+		})
+		t.actorEpRet[id] += rew
+		if done {
+			traj.EpisodeReturns = append(traj.EpisodeReturns, t.actorEpRet[id])
+			t.recordEpisode(t.actorEpRet[id])
+			t.actorEpRet[id] = 0
+			obs = e.Reset(r)
+		} else {
+			obs = next
+		}
+	}
+	t.actorObs[id] = obs
+	return traj
+}
+
+func (t *Trainer) trajBytes(traj *replay.Trajectory) int {
+	if len(traj.Steps) == 0 {
+		return 64
+	}
+	per := 8 * (len(traj.Steps[0].Obs) + len(traj.Steps[0].Action) + len(traj.Steps[0].DistParams) + 2)
+	return per * len(traj.Steps)
+}
+
+func (t *Trainer) recordEpisode(ret float64) {
+	t.episodes++
+	if len(t.recent) < t.cfg.EvalWindow {
+		t.recent = append(t.recent, ret)
+	} else {
+		t.recent[t.recentAt] = ret
+		t.recentAt = (t.recentAt + 1) % t.cfg.EvalWindow
+	}
+	t.recentN++
+}
+
+func (t *Trainer) meanRecentReward() float64 {
+	if len(t.recent) == 0 {
+		return 0
+	}
+	return tensor.Mean(t.recent)
+}
+
+// ---- Data loader + learner functions (workflow step 2) ----
+
+// handleTrajectory is the GPU data loader: it batches accumulated
+// trajectories and invokes learner functions whenever a full batch is
+// available.
+func (t *Trainer) handleTrajectory(traj *replay.Trajectory) {
+	if len(traj.Steps) == 0 {
+		return
+	}
+	t.pendingTraj = append(t.pendingTraj, traj)
+	t.pendingSteps += len(traj.Steps)
+	for t.pendingSteps >= t.batchSize {
+		var take []*replay.Trajectory
+		steps := 0
+		for len(t.pendingTraj) > 0 && steps < t.batchSize {
+			tr := t.pendingTraj[0]
+			t.pendingTraj = t.pendingTraj[1:]
+			steps += len(tr.Steps)
+			take = append(take, tr)
+		}
+		t.pendingSteps -= steps
+		batch, err := replay.Flatten(take)
+		if err != nil {
+			t.fail(err)
+			return
+		}
+		t.dispatchLearner(batch)
+	}
+}
+
+// oldestOutstanding returns the minimum born version among in-flight
+// learner functions.
+func (t *Trainer) oldestOutstanding() (int, bool) {
+	oldest, ok := 0, false
+	for _, born := range t.outstanding {
+		if !ok || born < oldest {
+			oldest, ok = born, true
+		}
+	}
+	return oldest, ok
+}
+
+// dispatchLearner invokes one serverless learner function over batch.
+// The gradient math runs now (against the current policy — the function
+// input pins the policy ID at invocation, §IV step 2); the result is
+// delivered when the function's modeled execution completes.
+func (t *Trainer) dispatchLearner(batch *replay.Batch) {
+	if t.done {
+		return
+	}
+	if ssp, ok := t.aggPol.(*stale.SSP); ok {
+		if oldest, has := t.oldestOutstanding(); has && !ssp.CanDispatch(oldest, t.version) {
+			t.gated = append(t.gated, pendingBatch{batch: batch})
+			return
+		}
+	}
+	id := t.learnerSeq
+	t.learnerSeq++
+	born := t.version
+	t.outstanding[id] = born
+	t.invokedRound++
+
+	var extra algo.Extra
+	if t.alg.NeedsTarget() {
+		extra.TargetWeights = t.target
+	}
+	extra.KLCoeff = t.klCoef
+	trunc := t.tracker.View()
+	if err := t.work.SetWeights(t.master); err != nil {
+		t.fail(err)
+		return
+	}
+	g := t.alg.Compute(t.work, batch, trunc, extra, t.learnerRng.Split(uint64(id)))
+
+	params := len(t.master)
+	pull := t.lat.TransferTime(8*params, t.timeRng)
+	load := t.lat.TransferTime(8*batch.Len()*len(batch.Obs[0]), t.timeRng)
+	compute := t.lat.GradientTime(params, batch.Len(), t.timeRng)
+	t.breakdown.Add(CompPolicyPull, pull)
+	t.breakdown.Add(CompDataLoad, load)
+	t.breakdown.Add(CompGradCompute, compute)
+
+	// Gradient submission uses the hierarchical data-passing tier
+	// (§V-B) selected once the learner's placement is known: shared
+	// memory when co-located with the parameter function (VM 0), RPC
+	// across VMs, or the cache when the hierarchy is disabled.
+	dur := func(inv serverless.Invocation) float64 {
+		submit := t.lat.TierTime(t.submitTier(inv.VM), 8*params, t.timeRng)
+		t.breakdown.Add(CompGradSubmit, submit)
+		total := pull + load + compute + submit
+		t.learnerTime += total
+		// Feed the profiler (§VII) and keep the warm pool sized to the
+		// estimated concurrency so later invocations start warm.
+		t.prof.For("learner").Observe(total, t.clock.Now())
+		if want := t.prof.For("learner").Concurrency(); want > 0 {
+			if have := t.plat.WarmCount("learner"); have < want {
+				t.plat.Prewarm("learner", minI(want, t.cfg.LearnerSlots())-have)
+			}
+		}
+		return total
+	}
+
+	var attempt func()
+	attempt = func() {
+		t.plat.Invoke("learner", dur, func(inv serverless.Invocation) {
+			if t.done {
+				delete(t.outstanding, id)
+				return
+			}
+			if inv.Failed {
+				// The function crashed mid-flight: retry the same work
+				// (the policy ID input is pinned, so the gradient is
+				// unchanged). The staleness cost of the retry is real.
+				attempt()
+				return
+			}
+			delete(t.outstanding, id)
+			t.tracker.Observe(g.Stats.MeanRatio)
+			entry := &stale.Entry{
+				LearnerID:   id,
+				BornVersion: born,
+				Grad:        g.Data,
+				Samples:     g.Stats.Samples,
+				MeanRatio:   g.Stats.MeanRatio,
+				KL:          g.Stats.KL,
+				Enqueued:    t.clock.Now(),
+			}
+			if group := t.aggPol.Offer(entry, t.version); group != nil {
+				t.tracker.ResetGroup()
+				t.invokeParameter(group)
+			}
+			t.retryGated()
+		})
+	}
+	attempt()
+}
+
+// submitTier selects the data-passing tier for a learner on the given
+// VM. The parameter function is hosted on learner VM 0 (§VII runs both
+// function kinds on the same GPU instances).
+func (t *Trainer) submitTier(vm int) serverless.Tier {
+	if t.cfg.CacheOnlyPassing {
+		return serverless.TierCache
+	}
+	if vm == 0 {
+		return serverless.TierShm
+	}
+	return serverless.TierRPC
+}
+
+// retryGated re-attempts SSP-gated dispatches after state changes.
+func (t *Trainer) retryGated() {
+	if len(t.gated) == 0 {
+		return
+	}
+	gated := t.gated
+	t.gated = nil
+	for _, p := range gated {
+		t.dispatchLearner(p.batch)
+	}
+}
+
+// ---- Parameter function (workflow step 3) ----
+
+// invokeParameter schedules the parameter function over an admitted
+// aggregation group.
+func (t *Trainer) invokeParameter(group []*stale.Entry) {
+	params := len(t.master)
+	agg := t.lat.AggregateTime(len(group), params, t.timeRng)
+	broadcast := t.lat.TransferTime(8*params, t.timeRng)
+	t.breakdown.Add(CompAggregate, agg)
+	t.breakdown.Add(CompBroadcast, broadcast)
+	t.prof.For("parameter").Observe(agg+broadcast, t.clock.Now())
+	var attempt func()
+	attempt = func() {
+		t.plat.InvokeFixed("parameter", agg+broadcast, func(inv serverless.Invocation) {
+			if inv.Failed {
+				if !t.done {
+					attempt()
+				}
+				return
+			}
+			t.applyUpdate(group)
+		})
+	}
+	attempt()
+}
+
+// applyUpdate performs the staleness-weighted aggregation (Eq. 4), the
+// optimizer step, and round bookkeeping.
+func (t *Trainer) applyUpdate(group []*stale.Entry) {
+	if t.done {
+		return
+	}
+	comb := stale.Combine(t.aggPol, group, t.version)
+	t.adaptKLCoeff(group)
+
+	var prevProbe []*paramRow
+	if t.cfg.TrackKL {
+		prevProbe = t.probeParams()
+	}
+
+	t.opt.Step(t.master, comb.Grad)
+	t.version++
+	t.hist.ObserveAll(comb.Stalenesses)
+	t.roundStaleSum += comb.MeanStaleness
+	t.roundUpdates++
+
+	if t.cfg.TrackKL {
+		newProbe := t.probeParams()
+		t.klTrace = append(t.klTrace, meanKL(t.work, prevProbe, newProbe))
+	}
+
+	if t.alg.NeedsTarget() && t.version%t.targetEvery == 0 {
+		copy(t.target, t.master)
+	}
+	t.publishWeights()
+
+	// A training round is UpdatesPerRound policy updates; close the
+	// round's CSV row at the boundary.
+	if t.version%t.cfg.UpdatesPerRound == 0 {
+		now := t.clock.Now()
+		t.rec.Add(metrics.Round{
+			Round:       t.version/t.cfg.UpdatesPerRound - 1,
+			DurationSec: now - t.roundStart,
+			Learners:    t.invokedRound,
+			Episodes:    t.episodes,
+			Reward:      t.meanRecentReward(),
+			Staleness:   t.roundStaleSum / float64(t.roundUpdates),
+			CostUSD:     t.plat.TotalCost(),
+			WallSec:     now,
+		})
+		t.roundStart = now
+		t.invokedRound = 0
+		t.roundStaleSum = 0
+		t.roundUpdates = 0
+		t.autoscaleActors()
+	}
+
+	budgetSpent := t.cfg.WallBudgetSec > 0 && t.clock.Now() >= t.cfg.WallBudgetSec
+	if t.version >= t.cfg.Rounds*t.cfg.UpdatesPerRound || budgetSpent {
+		t.done = true
+		t.clock.Stop()
+		return
+	}
+	// Wake synchronous actors blocked on the update.
+	if len(t.waiting) > 0 {
+		waiting := t.waiting
+		t.waiting = nil
+		for _, id := range waiting {
+			t.scheduleActor(id)
+		}
+	}
+	t.retryGated()
+}
+
+// autoscaleActors consults the configured controller at a round boundary
+// and grows or shrinks the active actor fleet. Shrinking is lazy (actors
+// park after their in-flight burst); growing wakes parked actors
+// immediately.
+func (t *Trainer) autoscaleActors() {
+	if t.cfg.Autoscale == nil {
+		return
+	}
+	want := t.cfg.Autoscale.Decide(autoscale.Signals{
+		Round:              t.version/t.cfg.UpdatesPerRound - 1,
+		ActiveActors:       t.activeActors,
+		MaxActors:          t.cfg.NumActors,
+		LearnerUtilization: t.plat.Utilization("learner"),
+		LearnerQueueDepth:  t.plat.QueueDepth("learner"),
+		PendingSteps:       t.pendingSteps,
+		BatchSize:          t.batchSize,
+	})
+	if want > t.cfg.NumActors {
+		want = t.cfg.NumActors
+	}
+	if want < 1 {
+		want = 1
+	}
+	t.activeActors = want
+	// Wake parked actors whose id is back in range.
+	stillParked := t.parked[:0]
+	for _, id := range t.parked {
+		if id < t.activeActors {
+			t.scheduleActor(id)
+		} else {
+			stillParked = append(stillParked, id)
+		}
+	}
+	t.parked = stillParked
+}
+
+// adaptKLCoeff is the RLlib-style adaptive KL controller the paper's
+// tuned PPO/IMPACT configurations rely on: the coefficient grows when
+// the measured update KL overshoots the target (Table III: 0.01) and
+// shrinks when it undershoots, keeping asynchronous updates near the
+// trust region.
+func (t *Trainer) adaptKLCoeff(group []*stale.Entry) {
+	target := t.alg.Hyper().KLTarget
+	base := t.alg.Hyper().KLCoeff
+	if target <= 0 || base <= 0 {
+		return
+	}
+	var kl float64
+	for _, e := range group {
+		kl += e.KL
+	}
+	kl /= float64(len(group))
+	switch {
+	case kl > 2*target:
+		t.klCoef *= 1.5
+	case kl < target/2:
+		t.klCoef /= 1.5
+	}
+	if t.klCoef > 100*base {
+		t.klCoef = 100 * base
+	}
+	if t.klCoef < base/100 {
+		t.klCoef = base / 100
+	}
+}
+
+// paramRow pairs a probe observation with its distribution parameters.
+type paramRow struct{ params []float64 }
+
+// probeParams evaluates the current policy's distribution parameters on
+// the probe states.
+func (t *Trainer) probeParams() []*paramRow {
+	if err := t.work.SetWeights(t.master); err != nil {
+		t.fail(err)
+		return nil
+	}
+	rows := make([]*paramRow, 0, len(t.probe))
+	for _, obs := range t.probe {
+		in := tensor.MatFrom(1, len(obs), obs)
+		out := t.work.Policy.Forward(in)
+		p := make([]float64, out.Cols)
+		copy(p, out.Row(0))
+		rows = append(rows, &paramRow{params: p})
+	}
+	return rows
+}
+
+// meanKL averages KL(new ‖ old) over probe rows.
+func meanKL(m *algo.Model, oldRows, newRows []*paramRow) float64 {
+	if len(oldRows) == 0 || len(oldRows) != len(newRows) {
+		return 0
+	}
+	var s float64
+	for i := range oldRows {
+		s += m.Dist.KL(newRows[i].params, oldRows[i].params)
+	}
+	return s / float64(len(oldRows))
+}

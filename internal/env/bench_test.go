@@ -1,0 +1,38 @@
+package env
+
+import (
+	"testing"
+
+	"stellaris/internal/rng"
+)
+
+// benchEnvSteps measures raw environment stepping throughput (one actor
+// core's simulation budget).
+func benchEnvSteps(b *testing.B, name string, frameSize int) {
+	e, err := NewSized(name, frameSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	e.Reset(r)
+	as := e.ActionSpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, done := e.Step(randomAction(as, r))
+		if done {
+			e.Reset(r)
+		}
+	}
+}
+
+func BenchmarkCartPoleStep(b *testing.B) { benchEnvSteps(b, "cartpole", 0) }
+func BenchmarkHopperStep(b *testing.B)   { benchEnvSteps(b, "hopper", 0) }
+func BenchmarkHumanoidStep(b *testing.B) { benchEnvSteps(b, "humanoid", 0) }
+func BenchmarkInvadersStep20(b *testing.B) {
+	benchEnvSteps(b, "invaders", 20)
+}
+func BenchmarkInvadersStep44(b *testing.B) {
+	benchEnvSteps(b, "invaders", 44)
+}
+func BenchmarkGravitasStep(b *testing.B) { benchEnvSteps(b, "gravitas", 20) }

@@ -1,0 +1,80 @@
+package env
+
+// Shared rendering machinery for the image-observation games. Each game
+// renders its world into a square grayscale frame each step and exposes
+// the last three frames, channel-major, as the observation — mirroring
+// the paper's "stack of three 84x84 images" Atari input (§VIII-A).
+//
+// The default frame edge is 44 pixels rather than 84 to keep CNN
+// forward/backward tractable on CPU; the network architecture (Table II)
+// is unchanged and 44 = (44-8)/4+1 → 10 → (10-4)/2+1 → 4 keeps both conv
+// stages shape-valid. DESIGN.md records this substitution.
+
+// DefaultFrameSize is the frame edge length used by the registered game
+// environments.
+const DefaultFrameSize = 44
+
+// frameStack holds the rolling three-frame observation window.
+type frameStack struct {
+	size int
+	buf  [3][]float64
+}
+
+func newFrameStack(size int) *frameStack {
+	fs := &frameStack{size: size}
+	for i := range fs.buf {
+		fs.buf[i] = make([]float64, size*size)
+	}
+	return fs
+}
+
+// reset clears all frames.
+func (fs *frameStack) reset() {
+	for i := range fs.buf {
+		for j := range fs.buf[i] {
+			fs.buf[i][j] = 0
+		}
+	}
+}
+
+// push rotates the stack and installs frame as the newest entry. The
+// returned slice is the evicted buffer for the caller to redraw into.
+func (fs *frameStack) push(frame []float64) {
+	fs.buf[2], fs.buf[1], fs.buf[0] = fs.buf[1], fs.buf[0], frame
+}
+
+// scratch returns the oldest buffer, zeroed, ready to be drawn on and
+// pushed.
+func (fs *frameStack) scratch() []float64 {
+	f := fs.buf[2]
+	for i := range f {
+		f[i] = 0
+	}
+	return f
+}
+
+// obs concatenates the three frames newest-first into a fresh slice.
+func (fs *frameStack) obs() []float64 {
+	n := fs.size * fs.size
+	o := make([]float64, 3*n)
+	for i := range fs.buf {
+		copy(o[i*n:(i+1)*n], fs.buf[i])
+	}
+	return o
+}
+
+// fillRect paints the axis-aligned rectangle [x0,x0+w) x [y0,y0+h) with
+// intensity v, clipped to the frame.
+func fillRect(frame []float64, size, x0, y0, w, h int, v float64) {
+	for y := y0; y < y0+h; y++ {
+		if y < 0 || y >= size {
+			continue
+		}
+		row := frame[y*size : (y+1)*size]
+		for x := x0; x < x0+w; x++ {
+			if x >= 0 && x < size {
+				row[x] = v
+			}
+		}
+	}
+}

@@ -1,0 +1,502 @@
+// Package live runs Stellaris's actor/learner/parameter pipeline as
+// real concurrent workers exchanging data through the TCP distributed
+// cache — the deployment shape of the paper's implementation (§VII),
+// with goroutines standing in for containers.
+//
+// Where internal/core simulates the serverless platform on a virtual
+// clock (for reproducible cost/staleness experiments), this package is
+// the *operational* mode: everything runs in real time, all payloads
+// really serialize through the cache protocol, and staleness arises from
+// genuine scheduling nondeterminism. It exists so a downstream user can
+// train against a stellaris-cached deployment, and so the test suite
+// exercises the full network path end to end.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stellaris/internal/algo"
+	"stellaris/internal/cache"
+	"stellaris/internal/env"
+	"stellaris/internal/istrunc"
+	"stellaris/internal/optim"
+	"stellaris/internal/replay"
+	"stellaris/internal/rng"
+	"stellaris/internal/stale"
+)
+
+// Options configures a live training run.
+type Options struct {
+	// CacheAddr connects to an external stellaris-cached server; empty
+	// starts an in-process server on a loopback port (still exercising
+	// the full TCP path).
+	CacheAddr string
+	// Env names the environment; FrameSize/Hidden as in core.Config.
+	Env       string
+	FrameSize int
+	Hidden    int
+	// Algo selects "ppo" (default) or "impact".
+	Algo string
+	// Seed drives all random streams.
+	Seed uint64
+	// Actors and Learners size the worker pools (defaults 2 and 2).
+	Actors   int
+	Learners int
+	// Updates is the number of policy updates to train for.
+	Updates int
+	// ActorSteps and BatchSize as in core.Config.
+	ActorSteps int
+	BatchSize  int
+	// LearningRate overrides Table III's α₀ (0 keeps it).
+	LearningRate float64
+	// Stellaris knobs (defaults: d=0.96, v=3, ρ=1.0).
+	DecayD          float64
+	SmoothV         int
+	Rho             float64
+	UpdatesPerRound int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Env == "" {
+		o.Env = "cartpole"
+	}
+	if o.Algo == "" {
+		o.Algo = "ppo"
+	}
+	if o.Algo != "ppo" && o.Algo != "impact" {
+		return o, fmt.Errorf("live: unknown algo %q", o.Algo)
+	}
+	if o.Actors <= 0 {
+		o.Actors = 2
+	}
+	if o.Learners <= 0 {
+		o.Learners = 2
+	}
+	if o.Updates <= 0 {
+		o.Updates = 8
+	}
+	if o.ActorSteps <= 0 {
+		o.ActorSteps = 64
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 128
+	}
+	if o.DecayD == 0 {
+		o.DecayD = 0.96
+	}
+	if o.SmoothV == 0 {
+		o.SmoothV = 3
+	}
+	if o.Rho == 0 {
+		o.Rho = 1.0
+	}
+	if o.UpdatesPerRound <= 0 {
+		o.UpdatesPerRound = 8
+	}
+	return o, nil
+}
+
+// Report summarizes a live run.
+type Report struct {
+	Updates       int
+	Episodes      int
+	MeanReturn    float64
+	MeanStaleness float64
+	Elapsed       time.Duration
+	FinalWeights  []float64
+}
+
+// trajNote tells the data loader a trajectory landed in the cache.
+type trajNote struct {
+	key   string
+	steps int
+}
+
+// gradNote tells the parameter worker a gradient landed in the cache.
+type gradNote struct {
+	key         string
+	bornVersion int
+	meanRatio   float64
+	kl          float64
+	samples     int
+}
+
+// Train runs the live pipeline to completion.
+func Train(opt Options) (*Report, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// Cache: external or in-process TCP server.
+	addr := opt.CacheAddr
+	var srv *cache.Server
+	if addr == "" {
+		srv = cache.NewServer(nil)
+		addr, err = srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+	}
+	// One client per worker keeps request streams independent.
+	dial := func() (*cache.Client, error) { return cache.Dial(addr) }
+
+	template, err := env.NewSized(opt.Env, opt.FrameSize)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(opt.Seed)
+	continuous := template.ActionSpace().Continuous
+	var alg algo.Algorithm
+	if opt.Algo == "impact" {
+		alg = algo.NewIMPACT(continuous)
+	} else {
+		alg = algo.NewPPO(continuous)
+	}
+	master := algo.NewModelHidden(template, opt.Hidden, opt.Seed)
+	initWeights := master.Weights()
+
+	opti, err := optim.New(alg.Hyper().Optimizer, alg.Hyper().LearningRate)
+	if err != nil {
+		return nil, err
+	}
+	if opt.LearningRate > 0 {
+		opti.SetLR(opt.LearningRate)
+	}
+
+	paramCli, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	defer paramCli.Close()
+	if err := putWeights(paramCli, 0, initWeights); err != nil {
+		return nil, err
+	}
+
+	var (
+		stop     atomic.Bool
+		version  atomic.Int64
+		episodes atomic.Int64
+		retMu    sync.Mutex
+		returns  []float64
+	)
+	trajCh := make(chan trajNote, 4*opt.Actors)
+	batchCh := make(chan []string, 2*opt.Learners)
+	gradCh := make(chan gradNote, 2*opt.Learners)
+	errCh := make(chan error, opt.Actors+opt.Learners+2)
+	tracker := istrunc.New(opt.Rho, true)
+
+	var wg sync.WaitGroup
+
+	// Actors. RNG streams are split before spawning: the root generator
+	// is not safe for concurrent use.
+	for a := 0; a < opt.Actors; a++ {
+		wg.Add(1)
+		actorRNG := root.Split(uint64(100 + a))
+		go func(id int, r *rng.RNG) {
+			defer wg.Done()
+			cli, err := dial()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			e, err := env.NewSized(opt.Env, opt.FrameSize)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			model := algo.NewModelHidden(e, opt.Hidden, opt.Seed)
+			var obs []float64
+			var epRet float64
+			seq := 0
+			for !stop.Load() {
+				w, _, err := getWeights(cli)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := model.SetWeights(w); err != nil {
+					errCh <- err
+					return
+				}
+				if obs == nil {
+					obs = e.Reset(r)
+					epRet = 0
+				}
+				traj := &replay.Trajectory{ActorID: id, PolicyVersion: int(version.Load())}
+				for i := 0; i < opt.ActorSteps; i++ {
+					action, lp, dp := model.Act(obs, r)
+					next, rew, done := e.Step(action)
+					traj.Steps = append(traj.Steps, replay.Step{
+						Obs: obs, Action: action, Reward: rew, Done: done,
+						LogProb: lp, DistParams: dp,
+					})
+					epRet += rew
+					if done {
+						traj.EpisodeReturns = append(traj.EpisodeReturns, epRet)
+						episodes.Add(1)
+						retMu.Lock()
+						returns = append(returns, epRet)
+						if len(returns) > 256 {
+							returns = returns[len(returns)-256:]
+						}
+						retMu.Unlock()
+						epRet = 0
+						obs = e.Reset(r)
+					} else {
+						obs = next
+					}
+				}
+				key := fmt.Sprintf("traj/%d/%d", id, seq)
+				seq++
+				b, err := cache.EncodeTrajectory(traj)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := cli.Put(key, b); err != nil {
+					errCh <- err
+					return
+				}
+				select {
+				case trajCh <- trajNote{key: key, steps: len(traj.Steps)}:
+				default:
+					// Loader backlogged: drop the oldest-style note;
+					// the trajectory stays in the cache but won't be
+					// batched. Sampling throughput exceeding learner
+					// throughput is the overload case — shed load.
+					_ = cli.Delete(key)
+				}
+			}
+		}(a, actorRNG)
+	}
+
+	// Data loader: batch trajectory keys by step count.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var keys []string
+		steps := 0
+		for !stop.Load() {
+			var note trajNote
+			select {
+			case note = <-trajCh:
+			case <-time.After(10 * time.Millisecond):
+				continue
+			}
+			keys = append(keys, note.key)
+			steps += note.steps
+			if steps >= opt.BatchSize {
+				batch := append([]string(nil), keys...)
+				keys = keys[:0]
+				steps = 0
+				select {
+				case batchCh <- batch:
+				default:
+					// Learners saturated: drop the batch (off-policy
+					// data this stale would be discarded anyway).
+				}
+			}
+		}
+	}()
+
+	// Learners.
+	for l := 0; l < opt.Learners; l++ {
+		wg.Add(1)
+		learnerRNG := root.Split(uint64(200 + l))
+		go func(id int, r *rng.RNG) {
+			defer wg.Done()
+			cli, err := dial()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			model := algo.NewModelHidden(template, opt.Hidden, opt.Seed)
+			seq := 0
+			for !stop.Load() {
+				var keys []string
+				select {
+				case keys = <-batchCh:
+				case <-time.After(10 * time.Millisecond):
+					continue
+				}
+				w, born, err := getWeights(cli)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := model.SetWeights(w); err != nil {
+					errCh <- err
+					return
+				}
+				var trajs []*replay.Trajectory
+				for _, k := range keys {
+					raw, err := cli.Get(k)
+					if err != nil {
+						continue // evicted under overload
+					}
+					tr, err := cache.DecodeTrajectory(raw)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					trajs = append(trajs, tr)
+					_ = cli.Delete(k)
+				}
+				if len(trajs) == 0 {
+					continue
+				}
+				batch, err := replay.Flatten(trajs)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				g := alg.Compute(model, batch, tracker.View(), algo.Extra{}, r.Split(uint64(seq)))
+				gkey := fmt.Sprintf("grad/%d/%d", id, seq)
+				seq++
+				gb, err := cache.EncodeGrad(&cache.GradMsg{
+					LearnerID: id, BornVersion: born, Grad: g.Data,
+					Samples: g.Stats.Samples, MeanRatio: g.Stats.MeanRatio,
+					MinRatio: g.Stats.MinRatio, KL: g.Stats.KL, Entropy: g.Stats.Entropy,
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := cli.Put(gkey, gb); err != nil {
+					errCh <- err
+					return
+				}
+				select {
+				case gradCh <- gradNote{
+					key: gkey, bornVersion: born,
+					meanRatio: g.Stats.MeanRatio, kl: g.Stats.KL, samples: g.Stats.Samples,
+				}:
+				default:
+					// Parameter worker backlogged or stopped: shed the
+					// gradient rather than block shutdown.
+					_ = cli.Delete(gkey)
+				}
+			}
+		}(l, learnerRNG)
+	}
+
+	// Parameter worker: staleness-aware aggregation and policy updates.
+	agg := stale.NewStellaris()
+	agg.D, agg.V = opt.DecayD, opt.SmoothV
+	agg.UpdatesPerRound = opt.UpdatesPerRound
+	agg.MaxQueue = 4 * opt.Learners
+	weights := append([]float64(nil), initWeights...)
+	var staleSum float64
+	var staleN int
+
+	start := time.Now()
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for !stop.Load() {
+			var note gradNote
+			select {
+			case note = <-gradCh:
+			case <-time.After(10 * time.Millisecond):
+				continue
+			}
+			raw, err := paramCli.Get(note.key)
+			if err != nil {
+				continue
+			}
+			msg, err := cache.DecodeGrad(raw)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			_ = paramCli.Delete(note.key)
+			tracker.Observe(msg.MeanRatio)
+			v := int(version.Load())
+			group := agg.Offer(&stale.Entry{
+				LearnerID:   msg.LearnerID,
+				BornVersion: msg.BornVersion,
+				Grad:        msg.Grad,
+				Samples:     msg.Samples,
+				MeanRatio:   msg.MeanRatio,
+				KL:          msg.KL,
+			}, v)
+			if group == nil {
+				continue
+			}
+			tracker.ResetGroup()
+			comb := stale.Combine(agg, group, v)
+			opti.Step(weights, comb.Grad)
+			staleSum += comb.MeanStaleness
+			staleN++
+			nv := version.Add(1)
+			if err := putWeights(paramCli, int(nv), weights); err != nil {
+				errCh <- err
+				return
+			}
+			if int(nv) >= opt.Updates {
+				stop.Store(true)
+				return
+			}
+		}
+	}()
+
+	<-done
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	rep := &Report{
+		Updates:      int(version.Load()),
+		Episodes:     int(episodes.Load()),
+		Elapsed:      time.Since(start),
+		FinalWeights: weights,
+	}
+	if staleN > 0 {
+		rep.MeanStaleness = staleSum / float64(staleN)
+	}
+	retMu.Lock()
+	if len(returns) > 0 {
+		var s float64
+		for _, r := range returns {
+			s += r
+		}
+		rep.MeanReturn = s / float64(len(returns))
+	}
+	retMu.Unlock()
+	return rep, nil
+}
+
+// putWeights stores a versioned weight vector.
+func putWeights(c cache.Cache, version int, w []float64) error {
+	b, err := cache.EncodeWeights(&cache.WeightsMsg{Version: version, Weights: w})
+	if err != nil {
+		return err
+	}
+	return c.Put("weights/latest", b)
+}
+
+// getWeights fetches the latest weights and their version.
+func getWeights(c cache.Cache) ([]float64, int, error) {
+	raw, err := c.Get("weights/latest")
+	if err != nil {
+		return nil, 0, err
+	}
+	msg, err := cache.DecodeWeights(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg.Weights, msg.Version, nil
+}

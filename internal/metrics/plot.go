@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for Plot.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Plot renders line series as an ASCII chart — the text rendition of
+// the paper's reward-over-rounds figures. Each series gets a marker
+// (1, 2, 3, ...); overlapping cells show the later series' marker.
+func Plot(w io.Writer, title string, height, width int, series ...Series) {
+	if height < 4 {
+		height = 8
+	}
+	if width < 16 {
+		width = 60
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Points {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		fmt.Fprintf(w, "%s: (no data)\n", title)
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := byte('1' + si%9)
+		for i, v := range s.Points {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			x := 0
+			if maxLen > 1 {
+				x = i * (width - 1) / (maxLen - 1)
+			}
+			y := int((hi - v) / (hi - lo) * float64(height-1))
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = marker
+		}
+	}
+
+	fmt.Fprintln(w, title)
+	for y, row := range grid {
+		label := ""
+		switch y {
+		case 0:
+			label = fmt.Sprintf("%9.1f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%9.1f", lo)
+		default:
+			label = strings.Repeat(" ", 9)
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, row)
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", byte('1'+si%9), s.Name))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", 9), strings.Join(legend, "  "))
+}

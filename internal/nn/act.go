@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+
+	"stellaris/internal/tensor"
+)
+
+// Tanh is the hyperbolic-tangent activation used by the paper's MuJoCo
+// MLP trunks (Table II).
+type Tanh struct {
+	lastOut *tensor.Mat
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "Tanh" }
+
+// OutDim implements Layer.
+func (t *Tanh) OutDim(in int) int { return in }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(in *tensor.Mat) *tensor.Mat {
+	out := tensor.NewMat(in.Rows, in.Cols)
+	for i, v := range in.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.lastOut = out
+	return out
+}
+
+// Backward implements Layer. d tanh(x)/dx = 1 - tanh(x)².
+func (t *Tanh) Backward(dOut *tensor.Mat) *tensor.Mat {
+	if t.lastOut == nil {
+		panic("nn: Tanh.Backward before Forward")
+	}
+	dIn := tensor.NewMat(dOut.Rows, dOut.Cols)
+	for i, g := range dOut.Data {
+		y := t.lastOut.Data[i]
+		dIn.Data[i] = g * (1 - y*y)
+	}
+	return dIn
+}
+
+// ReLU is the rectified-linear activation used by the paper's Atari CNN
+// trunks (Table II).
+type ReLU struct {
+	lastIn *tensor.Mat
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// OutDim implements Layer.
+func (r *ReLU) OutDim(in int) int { return in }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in *tensor.Mat) *tensor.Mat {
+	r.lastIn = in
+	out := tensor.NewMat(in.Rows, in.Cols)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(dOut *tensor.Mat) *tensor.Mat {
+	if r.lastIn == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	dIn := tensor.NewMat(dOut.Rows, dOut.Cols)
+	for i, g := range dOut.Data {
+		if r.lastIn.Data[i] > 0 {
+			dIn.Data[i] = g
+		}
+	}
+	return dIn
+}

@@ -1,0 +1,262 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stellaris/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// numGrad computes a central-difference gradient of f at x.
+func numGrad(f func([]float64) float64, x []float64) []float64 {
+	const eps = 1e-6
+	g := make([]float64, len(x))
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		up := f(x)
+		x[i] = orig - eps
+		down := f(x)
+		x[i] = orig
+		g[i] = (up - down) / (2 * eps)
+	}
+	return g
+}
+
+func randParams(r *rng.RNG, d Distribution) []float64 {
+	p := make([]float64, d.ParamDim())
+	for i := range p {
+		p[i] = 0.5 * r.NormFloat64()
+	}
+	return p
+}
+
+func TestGaussianLogProbClosedForm(t *testing.T) {
+	g := NewDiagGaussian(1)
+	// N(mu=1, sigma=e^0.5)
+	params := []float64{1, 0.5}
+	a := []float64{2}
+	sigma := math.Exp(0.5)
+	want := -0.5*math.Pow((2-1)/sigma, 2) - 0.5 - 0.5*math.Log(2*math.Pi)
+	if got := g.LogProb(params, a); !almostEq(got, want, 1e-12) {
+		t.Fatalf("LogProb = %v, want %v", got, want)
+	}
+}
+
+func TestGaussianGradLogProbNumeric(t *testing.T) {
+	g := NewDiagGaussian(3)
+	r := rng.New(1)
+	for trial := 0; trial < 10; trial++ {
+		params := randParams(r, g)
+		action := g.Sample(params, r)
+		analytic := make([]float64, g.ParamDim())
+		g.GradLogProb(analytic, params, action, 1)
+		numeric := numGrad(func(p []float64) float64 { return g.LogProb(p, action) }, params)
+		for i := range analytic {
+			if !almostEq(analytic[i], numeric[i], 1e-4) {
+				t.Fatalf("trial %d grad[%d]: %v vs %v", trial, i, analytic[i], numeric[i])
+			}
+		}
+	}
+}
+
+func TestGaussianEntropyAndGradNumeric(t *testing.T) {
+	g := NewDiagGaussian(2)
+	r := rng.New(2)
+	params := randParams(r, g)
+	analytic := make([]float64, g.ParamDim())
+	g.GradEntropy(analytic, params, 1)
+	numeric := numGrad(func(p []float64) float64 { return g.Entropy(p) }, params)
+	for i := range analytic {
+		if !almostEq(analytic[i], numeric[i], 1e-5) {
+			t.Fatalf("entropy grad[%d]: %v vs %v", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestGaussianKLProperties(t *testing.T) {
+	g := NewDiagGaussian(3)
+	r := rng.New(3)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		p := randParams(rr, g)
+		q := randParams(rr, g)
+		if g.KL(p, p) > 1e-12 {
+			return false
+		}
+		return g.KL(p, q) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestGaussianGradKLNumeric(t *testing.T) {
+	g := NewDiagGaussian(2)
+	r := rng.New(4)
+	p := randParams(r, g)
+	q := randParams(r, g)
+	analytic := make([]float64, g.ParamDim())
+	g.GradKLP(analytic, p, q, 1)
+	numeric := numGrad(func(x []float64) float64 { return g.KL(x, q) }, p)
+	for i := range analytic {
+		if !almostEq(analytic[i], numeric[i], 1e-4) {
+			t.Fatalf("KL grad[%d]: %v vs %v", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestGaussianSampleMoments(t *testing.T) {
+	g := NewDiagGaussian(1)
+	r := rng.New(5)
+	params := []float64{2, math.Log(0.5)} // mu=2, sigma=0.5
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		a := g.Sample(params, r)
+		sum += a[0]
+		sumSq += a[0] * a[0]
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if !almostEq(mean, 2, 0.02) || !almostEq(std, 0.5, 0.02) {
+		t.Fatalf("sample moments mean=%v std=%v", mean, std)
+	}
+}
+
+func TestGaussianMode(t *testing.T) {
+	g := NewDiagGaussian(2)
+	m := g.Mode([]float64{1, -1, 0, 0})
+	if m[0] != 1 || m[1] != -1 {
+		t.Fatalf("Mode = %v", m)
+	}
+}
+
+func TestGaussianLogStdClamp(t *testing.T) {
+	g := NewDiagGaussian(1)
+	// Extreme logstd must not explode logprob or produce NaN.
+	lp := g.LogProb([]float64{0, 100}, []float64{1})
+	if math.IsNaN(lp) || math.IsInf(lp, 0) {
+		t.Fatalf("clamped LogProb = %v", lp)
+	}
+	grad := make([]float64, 2)
+	g.GradLogProb(grad, []float64{0, 100}, []float64{1}, 1)
+	if grad[1] != 0 {
+		t.Fatal("gradient should not flow through a saturated logstd clamp")
+	}
+}
+
+func TestCategoricalNormalized(t *testing.T) {
+	c := NewCategorical(5)
+	logits := []float64{1, -2, 0.5, 3, 0}
+	var sum float64
+	for a := 0; a < 5; a++ {
+		sum += math.Exp(c.LogProb(logits, []float64{float64(a)}))
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestCategoricalGradLogProbNumeric(t *testing.T) {
+	c := NewCategorical(4)
+	logits := []float64{0.3, -1, 2, 0}
+	action := []float64{2}
+	analytic := make([]float64, 4)
+	c.GradLogProb(analytic, logits, action, 1)
+	numeric := numGrad(func(p []float64) float64 { return c.LogProb(p, action) }, logits)
+	for i := range analytic {
+		if !almostEq(analytic[i], numeric[i], 1e-5) {
+			t.Fatalf("grad[%d]: %v vs %v", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestCategoricalEntropyGradNumeric(t *testing.T) {
+	c := NewCategorical(4)
+	logits := []float64{0.3, -1, 2, 0}
+	analytic := make([]float64, 4)
+	c.GradEntropy(analytic, logits, 1)
+	numeric := numGrad(func(p []float64) float64 { return c.Entropy(p) }, logits)
+	for i := range analytic {
+		if !almostEq(analytic[i], numeric[i], 1e-5) {
+			t.Fatalf("entropy grad[%d]: %v vs %v", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestCategoricalKLGradNumeric(t *testing.T) {
+	c := NewCategorical(3)
+	p := []float64{0.5, -0.5, 1}
+	q := []float64{-1, 0.2, 0.3}
+	analytic := make([]float64, 3)
+	c.GradKLP(analytic, p, q, 1)
+	numeric := numGrad(func(x []float64) float64 { return c.KL(x, q) }, p)
+	for i := range analytic {
+		if !almostEq(analytic[i], numeric[i], 1e-5) {
+			t.Fatalf("KL grad[%d]: %v vs %v", i, analytic[i], numeric[i])
+		}
+	}
+}
+
+func TestCategoricalSampleFrequencies(t *testing.T) {
+	c := NewCategorical(3)
+	r := rng.New(6)
+	logits := []float64{math.Log(0.5), math.Log(0.3), math.Log(0.2)}
+	counts := make([]int, 3)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[int(c.Sample(logits, r)[0])]++
+	}
+	want := []float64{0.5, 0.3, 0.2}
+	for i := range counts {
+		frac := float64(counts[i]) / n
+		if !almostEq(frac, want[i], 0.01) {
+			t.Fatalf("action %d frequency %v, want %v", i, frac, want[i])
+		}
+	}
+}
+
+func TestCategoricalModeAndEntropy(t *testing.T) {
+	c := NewCategorical(3)
+	if m := c.Mode([]float64{0, 5, 1}); m[0] != 1 {
+		t.Fatalf("Mode = %v", m)
+	}
+	// Uniform logits: entropy = ln 3.
+	if h := c.Entropy([]float64{1, 1, 1}); !almostEq(h, math.Log(3), 1e-12) {
+		t.Fatalf("uniform entropy %v", h)
+	}
+}
+
+func TestCategoricalKLProperties(t *testing.T) {
+	c := NewCategorical(4)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		p := randParams(rr, c)
+		q := randParams(rr, c)
+		return c.KL(p, p) < 1e-12 && c.KL(p, q) >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewDiagGaussian(0) },
+		func() { NewCategorical(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid constructor accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

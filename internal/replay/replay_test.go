@@ -1,0 +1,195 @@
+package replay
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stellaris/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func mkTraj(actor, version, n int) *Trajectory {
+	t := &Trajectory{ActorID: actor, PolicyVersion: version}
+	for i := 0; i < n; i++ {
+		t.Steps = append(t.Steps, Step{
+			Obs:     []float64{float64(i)},
+			Action:  []float64{0},
+			Reward:  1,
+			LogProb: -0.5,
+		})
+	}
+	return t
+}
+
+func TestFlattenBasic(t *testing.T) {
+	a := mkTraj(0, 3, 4)
+	a.EpisodeReturns = []float64{10}
+	b := mkTraj(1, 3, 3)
+	batch, err := Flatten([]*Trajectory{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Len() != 7 {
+		t.Fatalf("batch length %d", batch.Len())
+	}
+	if batch.PolicyVersion != 3 {
+		t.Fatalf("policy version %d", batch.PolicyVersion)
+	}
+	if len(batch.EpisodeReturns) != 1 || batch.EpisodeReturns[0] != 10 {
+		t.Fatalf("episode returns %v", batch.EpisodeReturns)
+	}
+	// Trajectory seams are bootstrap boundaries.
+	if !batch.Dones[3] || !batch.Dones[6] {
+		t.Fatal("trajectory seam not marked done")
+	}
+	if batch.Dones[0] || batch.Dones[1] {
+		t.Fatal("interior steps wrongly marked done")
+	}
+}
+
+func TestFlattenEmpty(t *testing.T) {
+	if _, err := Flatten(nil); err == nil {
+		t.Fatal("empty Flatten accepted")
+	}
+}
+
+func TestGAEMatchesMonteCarloWhenLambda1(t *testing.T) {
+	// With λ=1 and zero values, advantage = discounted return.
+	rewards := []float64{1, 2, 3}
+	values := []float64{0, 0, 0}
+	dones := []bool{false, false, true}
+	adv, ret := GAE(rewards, values, dones, 0, 0.5, 1.0)
+	// Discounted returns: r2=3; r1=2+0.5*3=3.5; r0=1+0.5*3.5=2.75.
+	want := []float64{2.75, 3.5, 3}
+	for i := range want {
+		if !almostEq(adv[i], want[i], 1e-12) || !almostEq(ret[i], want[i], 1e-12) {
+			t.Fatalf("GAE[%d] = %v/%v, want %v", i, adv[i], ret[i], want[i])
+		}
+	}
+}
+
+func TestGAETDWhenLambda0(t *testing.T) {
+	// With λ=0, advantage = one-step TD error.
+	rewards := []float64{1, 1}
+	values := []float64{2, 3}
+	dones := []bool{false, true}
+	adv, _ := GAE(rewards, values, dones, 0, 0.9, 0)
+	want0 := 1 + 0.9*3 - 2 // δ_0
+	want1 := 1 - 3.0       // terminal: no bootstrap
+	if !almostEq(adv[0], want0, 1e-12) || !almostEq(adv[1], want1, 1e-12) {
+		t.Fatalf("TD advantages %v, want [%v %v]", adv, want0, want1)
+	}
+}
+
+func TestGAEBootstrapUsedWhenNotTerminal(t *testing.T) {
+	rewards := []float64{1}
+	values := []float64{0}
+	dones := []bool{false}
+	adv, _ := GAE(rewards, values, dones, 10, 0.9, 0.95)
+	if !almostEq(adv[0], 1+0.9*10, 1e-12) {
+		t.Fatalf("bootstrap ignored: %v", adv[0])
+	}
+	// Terminal step ignores the bootstrap.
+	adv2, _ := GAE(rewards, values, []bool{true}, 10, 0.9, 0.95)
+	if !almostEq(adv2[0], 1, 1e-12) {
+		t.Fatalf("terminal step used bootstrap: %v", adv2[0])
+	}
+}
+
+func TestGAENoLeakAcrossDones(t *testing.T) {
+	// Rewards after a done must not influence advantages before it.
+	rewards := []float64{0, 100}
+	values := []float64{0, 0}
+	dones := []bool{true, true}
+	adv, _ := GAE(rewards, values, dones, 0, 0.99, 0.95)
+	if adv[0] != 0 {
+		t.Fatalf("advantage leaked across done: %v", adv[0])
+	}
+}
+
+func TestGAELengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched GAE inputs accepted")
+		}
+	}()
+	GAE([]float64{1}, []float64{1, 2}, []bool{false}, 0, 0.9, 0.9)
+}
+
+func TestPrepareFillsAdvRet(t *testing.T) {
+	traj := mkTraj(0, 0, 5)
+	batch, err := Flatten([]*Trajectory{traj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []float64{1, 1, 1, 1, 1}
+	batch.Prepare(values, 0.99, 0.95)
+	if len(batch.Adv) != 5 || len(batch.Ret) != 5 {
+		t.Fatalf("Prepare lengths %d/%d", len(batch.Adv), len(batch.Ret))
+	}
+	for i := range batch.Adv {
+		if !almostEq(batch.Ret[i], batch.Adv[i]+values[i], 1e-12) {
+			t.Fatal("Ret != Adv + V")
+		}
+	}
+}
+
+func TestMinibatchesPartition(t *testing.T) {
+	r := rng.New(1)
+	f := func(nRaw, sizeRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		size := int(sizeRaw%20) + 1
+		groups := Minibatches(n, size, r)
+		seen := make([]bool, n)
+		count := 0
+		for _, g := range groups {
+			if len(g) > size {
+				return false
+			}
+			for _, i := range g {
+				if i < 0 || i >= n || seen[i] {
+					return false
+				}
+				seen[i] = true
+				count++
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinibatchesSingleGroup(t *testing.T) {
+	r := rng.New(2)
+	groups := Minibatches(10, 0, r)
+	if len(groups) != 1 || len(groups[0]) != 10 {
+		t.Fatalf("size<=0 should give one group, got %d groups", len(groups))
+	}
+	groups = Minibatches(10, 100, r)
+	if len(groups) != 1 {
+		t.Fatal("oversized minibatch should give one group")
+	}
+}
+
+func TestFlattenCarriesBehaviorData(t *testing.T) {
+	traj := mkTraj(0, 2, 3)
+	for i := range traj.Steps {
+		traj.Steps[i].DistParams = []float64{float64(i), 1}
+	}
+	batch, err := Flatten([]*Trajectory{traj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch.BehaviorLP {
+		if batch.BehaviorLP[i] != -0.5 {
+			t.Fatal("behavior logprob lost")
+		}
+		if batch.BehaviorPR[i][0] != float64(i) {
+			t.Fatal("behavior dist params lost")
+		}
+	}
+}

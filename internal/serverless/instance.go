@@ -1,0 +1,38 @@
+// Package serverless models the serverless container platform Stellaris
+// runs on: pools of (simulated) EC2 instances hosting function slots,
+// with cold/warm container starts, keep-alive, pre-warming, capacity
+// queuing and the paper's dollar-per-resource-second cost model
+// (§VIII-A), all driven by the simclock DES.
+package serverless
+
+// InstanceType describes an EC2 instance class used by the paper's
+// testbeds, with its published US-East-2 hourly price (footnote 2).
+type InstanceType struct {
+	Name      string
+	HourlyUSD float64
+	GPUs      int
+	CPUCores  int
+}
+
+// The paper's four testbed instance types.
+var (
+	// P32xlarge hosts one V100; the regular-testbed learner host.
+	P32xlarge = InstanceType{Name: "p3.2xlarge", HourlyUSD: 3.06, GPUs: 1, CPUCores: 8}
+	// C6a32xlarge is the regular-testbed actor host.
+	C6a32xlarge = InstanceType{Name: "c6a.32xlarge", HourlyUSD: 4.896, GPUs: 0, CPUCores: 128}
+	// P316xlarge hosts eight V100s; the HPC-cluster learner host.
+	P316xlarge = InstanceType{Name: "p3.16xlarge", HourlyUSD: 24.48, GPUs: 8, CPUCores: 64}
+	// Hpc7a96xlarge is the HPC-cluster actor host.
+	Hpc7a96xlarge = InstanceType{Name: "hpc7a.96xlarge", HourlyUSD: 7.2, GPUs: 0, CPUCores: 192}
+)
+
+// SlotRate returns the dollar-per-second price of one function slot when
+// the instance is divided into slots concurrent containers — the paper's
+// cost unit ("dividing the cost per second ... by the maximum capacity
+// of concurrent running learner functions allowed per VM").
+func (t InstanceType) SlotRate(slots int) float64 {
+	if slots <= 0 {
+		slots = 1
+	}
+	return t.HourlyUSD / 3600 / float64(slots)
+}

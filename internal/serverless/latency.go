@@ -1,0 +1,153 @@
+package serverless
+
+import "stellaris/internal/rng"
+
+// LatencyModel converts workload sizes into virtual-time durations. The
+// coefficients are calibrated to the magnitudes the paper reports
+// (sub-second learner functions on V100s, multi-second actor sampling on
+// EPYC cores, <5% overhead for cache and orchestration in Fig. 14), with
+// multiplicative lognormal jitter so learner completion times are
+// heterogeneous — heterogeneity is what *creates* staleness in
+// asynchronous learning, so the jitter term is load-bearing for the
+// Fig. 3(b) staleness distributions.
+type LatencyModel struct {
+	// ColdStartMean/Sigma parameterize lognormal cold starts (seconds).
+	ColdStartMean  float64
+	ColdStartSigma float64
+	// WarmStartSec is the near-constant warm start latency.
+	WarmStartSec float64
+	// GPUEffFlops is the sustained gradient-computation throughput of a
+	// learner slot (FLOP/s).
+	GPUEffFlops float64
+	// LearnerOverheadSec is fixed per-invocation framework overhead
+	// (deserialization, optimizer setup).
+	LearnerOverheadSec float64
+	// ActorStepSec is seconds per environment step on one actor core.
+	ActorStepSec float64
+	// CacheRTTSec is one cache round trip.
+	CacheRTTSec float64
+	// CacheBytesPerSec is cache transfer bandwidth.
+	CacheBytesPerSec float64
+	// AggPerParamSec is the parameter function's per-parameter
+	// aggregation cost.
+	AggPerParamSec float64
+	// JitterSigma is the lognormal sigma applied multiplicatively to
+	// compute durations (0 disables jitter).
+	JitterSigma float64
+
+	// Hierarchical data-passing tiers (§V-B). Shm* models same-VM
+	// shared-memory exchange; RPC* models direct remote procedure
+	// calls between VMs; the Cache* fields above are the third tier.
+	ShmLatencySec  float64
+	ShmBytesPerSec float64
+	RPCLatencySec  float64
+	RPCBytesPerSec float64
+}
+
+// Tier selects a data-passing path for one transfer.
+type Tier int
+
+// Data-passing tiers in decreasing locality.
+const (
+	// TierShm is same-VM shared memory.
+	TierShm Tier = iota
+	// TierRPC is a direct VM-to-VM remote procedure call.
+	TierRPC
+	// TierCache is a round trip through the distributed cache.
+	TierCache
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierShm:
+		return "shm"
+	case TierRPC:
+		return "rpc"
+	default:
+		return "cache"
+	}
+}
+
+// DefaultLatencyModel returns coefficients matching the paper's testbed
+// magnitudes.
+func DefaultLatencyModel() *LatencyModel {
+	return &LatencyModel{
+		ColdStartMean:      0.3, // ln-space mean → ~1.5s median cold start
+		ColdStartSigma:     0.35,
+		WarmStartSec:       0.08,
+		GPUEffFlops:        2.0e12, // V100 at realistic small-batch efficiency
+		LearnerOverheadSec: 0.05,
+		ActorStepSec:       0.0006, // ~1,600 env steps/s per EPYC core
+		CacheRTTSec:        0.0015,
+		CacheBytesPerSec:   1.2e9,
+		AggPerParamSec:     2.0e-9,
+		JitterSigma:        0.25,
+		ShmLatencySec:      5e-6,
+		ShmBytesPerSec:     20e9,
+		RPCLatencySec:      2e-4,
+		RPCBytesPerSec:     2.5e9,
+	}
+}
+
+// jitter applies multiplicative lognormal noise centered at 1.
+func (l *LatencyModel) jitter(d float64, r *rng.RNG) float64 {
+	if l.JitterSigma <= 0 {
+		return d
+	}
+	return d * r.LogNormal(-0.5*l.JitterSigma*l.JitterSigma, l.JitterSigma)
+}
+
+// ColdStart samples a cold-start latency.
+func (l *LatencyModel) ColdStart(r *rng.RNG) float64 {
+	return r.LogNormal(l.ColdStartMean, l.ColdStartSigma)
+}
+
+// WarmStart samples a warm-start latency.
+func (l *LatencyModel) WarmStart(r *rng.RNG) float64 {
+	return l.jitter(l.WarmStartSec, r)
+}
+
+// GradientTime models one learner-function execution: computing a
+// gradient over samples timesteps of a model with params parameters
+// (forward + backward ≈ 6 FLOP per parameter per sample), plus fixed
+// overhead.
+func (l *LatencyModel) GradientTime(params, samples int, r *rng.RNG) float64 {
+	flops := 6 * float64(params) * float64(samples)
+	return l.jitter(l.LearnerOverheadSec+flops/l.GPUEffFlops, r)
+}
+
+// ActorTime models sampling `steps` environment timesteps on one actor
+// core, including per-step policy inference (2 FLOP per parameter).
+func (l *LatencyModel) ActorTime(steps, params int, r *rng.RNG) float64 {
+	inference := 2 * float64(params) * float64(steps) / (l.GPUEffFlops / 40) // CPU inference
+	return l.jitter(float64(steps)*l.ActorStepSec+inference, r)
+}
+
+// TransferTime models moving nbytes through the cache (one RTT plus
+// bandwidth-limited payload).
+func (l *LatencyModel) TransferTime(nbytes int, r *rng.RNG) float64 {
+	return l.TierTime(TierCache, nbytes, r)
+}
+
+// TierTime models moving nbytes over the given data-passing tier —
+// §V-B's hierarchical messaging: shared memory within a VM, RPC across
+// VMs, the distributed cache for persistence.
+func (l *LatencyModel) TierTime(tier Tier, nbytes int, r *rng.RNG) float64 {
+	var base, bw float64
+	switch tier {
+	case TierShm:
+		base, bw = l.ShmLatencySec, l.ShmBytesPerSec
+	case TierRPC:
+		base, bw = l.RPCLatencySec, l.RPCBytesPerSec
+	default:
+		base, bw = l.CacheRTTSec, l.CacheBytesPerSec
+	}
+	return l.jitter(base+float64(nbytes)/bw, r)
+}
+
+// AggregateTime models the parameter function combining nGrads
+// gradients of params parameters and applying the optimizer step.
+func (l *LatencyModel) AggregateTime(nGrads, params int, r *rng.RNG) float64 {
+	return l.jitter(float64(nGrads+1)*float64(params)*l.AggPerParamSec, r)
+}

@@ -1,0 +1,37 @@
+package simclock
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw DES scheduling+dispatch rate,
+// the backbone cost of every simulated experiment.
+func BenchmarkEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	c := New()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		c.After(float64(i%97)*0.001, func() { count++ })
+	}
+	b.ResetTimer()
+	c.Run()
+	if count != b.N {
+		b.Fatalf("fired %d of %d", count, b.N)
+	}
+}
+
+// BenchmarkCascade measures self-scheduling chains (the actor-loop
+// pattern).
+func BenchmarkCascade(b *testing.B) {
+	c := New()
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			c.After(0.001, step)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	c.After(0, step)
+	c.Run()
+}

@@ -1,0 +1,154 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.At(3, func() { order = append(order, 3) })
+	c.At(1, func() { order = append(order, 1) })
+	c.At(2, func() { order = append(order, 2) })
+	c.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if c.Now() != 3 {
+		t.Fatalf("final time %v", c.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(5, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	c := New()
+	var at float64
+	c.At(10, func() {
+		c.After(5, func() { at = c.Now() })
+	})
+	c.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %v", at)
+	}
+}
+
+func TestAfterNegativeClamped(t *testing.T) {
+	c := New()
+	fired := false
+	c.After(-1, func() { fired = true })
+	c.Run()
+	if !fired || c.Now() != 0 {
+		t.Fatalf("negative After: fired=%v now=%v", fired, c.Now())
+	}
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	c := New()
+	c.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("past scheduling accepted")
+			}
+		}()
+		c.At(1, func() {})
+	})
+	c.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		c.At(tm, func() { fired = append(fired, tm) })
+	}
+	c.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil fired %d events", len(fired))
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("pending %d", c.Pending())
+	}
+	c.Run()
+	if len(fired) != 4 {
+		t.Fatal("Run did not drain remaining events")
+	}
+}
+
+func TestStop(t *testing.T) {
+	c := New()
+	count := 0
+	c.At(1, func() { count++; c.Stop() })
+	c.At(2, func() { count++ })
+	c.Run()
+	if count != 1 {
+		t.Fatalf("Stop did not halt the loop: %d", count)
+	}
+	// Run can resume afterwards.
+	c.Run()
+	if count != 2 {
+		t.Fatal("resume after Stop failed")
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Fatal("Step on empty clock returned true")
+	}
+}
+
+func TestCascadedEvents(t *testing.T) {
+	// Events scheduling events: a chain of N must all fire in order.
+	c := New()
+	const n = 1000
+	count := 0
+	var schedule func()
+	schedule = func() {
+		count++
+		if count < n {
+			c.After(0.001, schedule)
+		}
+	}
+	c.After(0, schedule)
+	c.Run()
+	if count != n {
+		t.Fatalf("chain fired %d of %d", count, n)
+	}
+}
+
+func TestMonotonicTimeProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		c := New()
+		last := -1.0
+		ok := true
+		for _, d := range delays {
+			c.After(float64(d)/100, func() {
+				if c.Now() < last {
+					ok = false
+				}
+				last = c.Now()
+			})
+		}
+		c.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

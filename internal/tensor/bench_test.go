@@ -1,0 +1,68 @@
+package tensor
+
+import (
+	"testing"
+
+	"stellaris/internal/rng"
+)
+
+func benchMats(n int) (*Mat, *Mat, *Mat) {
+	r := rng.New(1)
+	a, b := randMat(r, n, n), randMat(r, n, n)
+	return NewMat(n, n), a, b
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	dst, x, y := benchMats(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, x, y)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	dst, x, y := benchMats(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, x, y)
+	}
+}
+
+func BenchmarkMatMulABT256(b *testing.B) {
+	dst, x, y := benchMats(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulABT(dst, x, y)
+	}
+}
+
+func BenchmarkIm2Col44(b *testing.B) {
+	s := ConvShape{InC: 3, InH: 44, InW: 44, OutC: 16, KH: 8, KW: 8, Stride: 4}
+	if err := s.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	input := make([]float64, s.InSize())
+	cols := NewMat(s.OutH*s.OutW, s.PatchSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Im2Col(cols, input)
+	}
+}
+
+func BenchmarkDot4096(b *testing.B) {
+	r := rng.New(2)
+	x := make([]float64, 4096)
+	y := make([]float64, 4096)
+	for i := range x {
+		x[i], y[i] = r.NormFloat64(), r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}

@@ -1,0 +1,96 @@
+package tensor
+
+import "fmt"
+
+// ConvShape describes a 2-D convolution over multi-channel square-stride
+// input. Layout everywhere is channel-major: input is C x H x W flattened
+// as [c*H*W + y*W + x]; output is OutC x OutH x OutW in the same scheme.
+type ConvShape struct {
+	InC, InH, InW int
+	OutC          int
+	KH, KW        int
+	Stride        int
+	OutH, OutW    int // derived; filled by Validate
+}
+
+// Validate computes the output spatial dimensions and checks consistency.
+// Stellaris uses "valid" convolutions (no padding), matching the paper's
+// Atari network (8x8 s4, 4x4 s2).
+func (s *ConvShape) Validate() error {
+	if s.Stride <= 0 {
+		return fmt.Errorf("tensor: conv stride %d must be positive", s.Stride)
+	}
+	if s.KH > s.InH || s.KW > s.InW {
+		return fmt.Errorf("tensor: kernel %dx%d larger than input %dx%d", s.KH, s.KW, s.InH, s.InW)
+	}
+	s.OutH = (s.InH-s.KH)/s.Stride + 1
+	s.OutW = (s.InW-s.KW)/s.Stride + 1
+	return nil
+}
+
+// InSize returns the flattened input length.
+func (s *ConvShape) InSize() int { return s.InC * s.InH * s.InW }
+
+// OutSize returns the flattened output length.
+func (s *ConvShape) OutSize() int { return s.OutC * s.OutH * s.OutW }
+
+// PatchSize returns the im2col row width (one receptive field).
+func (s *ConvShape) PatchSize() int { return s.InC * s.KH * s.KW }
+
+// Im2Col expands input (len InSize) into dst, a (OutH*OutW) x PatchSize
+// matrix whose row p is the receptive field of output position p. The
+// convolution then becomes dst * Wᵀ with W of shape OutC x PatchSize.
+func (s *ConvShape) Im2Col(dst *Mat, input []float64) {
+	if len(input) != s.InSize() {
+		panic(fmt.Sprintf("tensor: Im2Col input length %d != %d", len(input), s.InSize()))
+	}
+	if dst.Rows != s.OutH*s.OutW || dst.Cols != s.PatchSize() {
+		panic("tensor: Im2Col dst shape mismatch")
+	}
+	p := 0
+	for oy := 0; oy < s.OutH; oy++ {
+		iy0 := oy * s.Stride
+		for ox := 0; ox < s.OutW; ox++ {
+			ix0 := ox * s.Stride
+			row := dst.Row(p)
+			q := 0
+			for c := 0; c < s.InC; c++ {
+				base := c * s.InH * s.InW
+				for ky := 0; ky < s.KH; ky++ {
+					src := base + (iy0+ky)*s.InW + ix0
+					copy(row[q:q+s.KW], input[src:src+s.KW])
+					q += s.KW
+				}
+			}
+			p++
+		}
+	}
+}
+
+// Col2Im scatter-adds cols (same shape as Im2Col's dst) back into dInput
+// (len InSize), the adjoint of Im2Col. dInput is accumulated, not reset.
+func (s *ConvShape) Col2Im(dInput []float64, cols *Mat) {
+	if len(dInput) != s.InSize() {
+		panic(fmt.Sprintf("tensor: Col2Im dInput length %d != %d", len(dInput), s.InSize()))
+	}
+	p := 0
+	for oy := 0; oy < s.OutH; oy++ {
+		iy0 := oy * s.Stride
+		for ox := 0; ox < s.OutW; ox++ {
+			ix0 := ox * s.Stride
+			row := cols.Row(p)
+			q := 0
+			for c := 0; c < s.InC; c++ {
+				base := c * s.InH * s.InW
+				for ky := 0; ky < s.KH; ky++ {
+					dst := base + (iy0+ky)*s.InW + ix0
+					for kx := 0; kx < s.KW; kx++ {
+						dInput[dst+kx] += row[q]
+						q++
+					}
+				}
+			}
+			p++
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stellaris/internal/rng"
+)
+
+func TestConvShapeValidate(t *testing.T) {
+	s := ConvShape{InC: 3, InH: 44, InW: 44, OutC: 16, KH: 8, KW: 8, Stride: 4}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.OutH != 10 || s.OutW != 10 {
+		t.Fatalf("44x44 k8 s4 -> %dx%d, want 10x10", s.OutH, s.OutW)
+	}
+	s2 := ConvShape{InC: 16, InH: 10, InW: 10, OutC: 32, KH: 4, KW: 4, Stride: 2}
+	if err := s2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.OutH != 4 || s2.OutW != 4 {
+		t.Fatalf("10x10 k4 s2 -> %dx%d, want 4x4", s2.OutH, s2.OutW)
+	}
+}
+
+func TestConvShapeValidateErrors(t *testing.T) {
+	bad := ConvShape{InC: 1, InH: 4, InW: 4, OutC: 1, KH: 8, KW: 8, Stride: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("oversized kernel accepted")
+	}
+	bad2 := ConvShape{InC: 1, InH: 4, InW: 4, OutC: 1, KH: 2, KW: 2, Stride: 0}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+}
+
+func TestIm2ColKnownValues(t *testing.T) {
+	// 1-channel 3x3 input, 2x2 kernel, stride 1 -> 4 patches.
+	s := ConvShape{InC: 1, InH: 3, InW: 3, OutC: 1, KH: 2, KW: 2, Stride: 1}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	input := []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	cols := NewMat(4, 4)
+	s.Im2Col(cols, input)
+	want := [][]float64{
+		{1, 2, 4, 5},
+		{2, 3, 5, 6},
+		{4, 5, 7, 8},
+		{5, 6, 8, 9},
+	}
+	for p, row := range want {
+		for q, v := range row {
+			if cols.At(p, q) != v {
+				t.Fatalf("patch %d elem %d = %v, want %v", p, q, cols.At(p, q), v)
+			}
+		}
+	}
+}
+
+// TestCol2ImAdjointProperty verifies ⟨Im2Col(x), Y⟩ == ⟨x, Col2Im(Y)⟩,
+// the defining property of an adjoint pair — which is exactly what the
+// conv backward pass relies on.
+func TestCol2ImAdjointProperty(t *testing.T) {
+	r := rng.New(7)
+	f := func(seed uint32) bool {
+		rr := rng.New(uint64(seed))
+		s := ConvShape{
+			InC: 1 + rr.Intn(3), InH: 4 + rr.Intn(6), InW: 4 + rr.Intn(6),
+			OutC: 1, KH: 1 + rr.Intn(3), KW: 1 + rr.Intn(3), Stride: 1 + rr.Intn(2),
+		}
+		if err := s.Validate(); err != nil {
+			return true // skip invalid combos
+		}
+		x := make([]float64, s.InSize())
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		cols := NewMat(s.OutH*s.OutW, s.PatchSize())
+		s.Im2Col(cols, x)
+
+		y := NewMat(s.OutH*s.OutW, s.PatchSize())
+		for i := range y.Data {
+			y.Data[i] = r.NormFloat64()
+		}
+		lhs := Dot(cols.Data, y.Data)
+
+		back := make([]float64, s.InSize())
+		s.Col2Im(back, y)
+		rhs := Dot(x, back)
+		return almostEq(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCol2ImAccumulates(t *testing.T) {
+	s := ConvShape{InC: 1, InH: 2, InW: 2, OutC: 1, KH: 2, KW: 2, Stride: 1}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cols := NewMat(1, 4)
+	for i := range cols.Data {
+		cols.Data[i] = 1
+	}
+	d := []float64{5, 0, 0, 0}
+	s.Col2Im(d, cols)
+	if d[0] != 6 {
+		t.Fatalf("Col2Im should accumulate, got %v", d[0])
+	}
+}

@@ -1,0 +1,128 @@
+package theory
+
+import (
+	"math"
+
+	"stellaris/internal/rng"
+	"stellaris/internal/stale"
+	"stellaris/internal/tensor"
+)
+
+// Theorem2Check is one evaluation of Theorem 2's inequality
+//
+//	J(π_i) - J(μ) ≥ -γ·ε^{π_i}·√(2·ln ρ) / (1-γ)²
+//
+// on an exactly solved MDP, for a learner policy whose importance
+// ratios against μ have been truncated at ρ (Eq. 2).
+type Theorem2Check struct {
+	// LHS is the exact reward improvement J(π_i) - J(μ).
+	LHS float64
+	// RHS is the theorem's lower bound.
+	RHS float64
+	// MaxRatio is the (post-truncation) maximum IS ratio.
+	MaxRatio float64
+	// Holds reports LHS ≥ RHS.
+	Holds bool
+}
+
+// CheckTheorem2 draws a random MDP and a random (μ, π) pair, truncates
+// π's ratios against μ at rho, and evaluates both sides of Theorem 2
+// exactly. rho must be > 1 for the bound to be meaningful (ln ρ ≥ 0).
+func CheckTheorem2(states, actions int, gamma, rho, logitScale float64, seed uint64) Theorem2Check {
+	r := rng.New(seed)
+	m := RandomMDP(states, actions, gamma, r)
+	mu := SoftmaxPolicy(RandomLogits(states, actions, logitScale, r))
+	pi := SoftmaxPolicy(RandomLogits(states, actions, logitScale, r))
+	pi = TruncateRatios(pi, mu, rho)
+
+	eps := m.EpsilonOf(pi, mu)
+	lhs := m.J(pi) - m.J(mu)
+	lnRho := math.Log(rho)
+	if lnRho < 0 {
+		lnRho = 0
+	}
+	rhs := -gamma * eps * math.Sqrt(2*lnRho) / ((1 - gamma) * (1 - gamma))
+	return Theorem2Check{
+		LHS:      lhs,
+		RHS:      rhs,
+		MaxRatio: MaxRatio(pi, mu),
+		Holds:    lhs >= rhs-1e-12,
+	}
+}
+
+// ConvergenceResult summarizes a Theorem 1 experiment: staleness-
+// weighted SGD on a smooth convex objective, measuring how the mean
+// squared gradient norm decays with the number of updates T.
+type ConvergenceResult struct {
+	// Ts are the update-count checkpoints.
+	Ts []int
+	// GradNormSq is (1/T)Σ‖∇J(θ_t)‖² at each checkpoint.
+	GradNormSq []float64
+	// FitExponent is the least-squares slope of log(GradNormSq) vs
+	// log(T); Theorem 1 predicts ≈ -0.5.
+	FitExponent float64
+}
+
+// VerifyTheorem1 runs staleness-weighted SGD (Eq. 4 weights, random
+// bounded staleness as the Stellaris queue produces) on the objective
+// J(θ) = ½‖θ - θ*‖² with stochastic gradients of bounded variance, and
+// fits the decay exponent of the running mean squared gradient norm.
+func VerifyTheorem1(dim, totalT, maxStale int, lr, noise float64, seed uint64) ConvergenceResult {
+	r := rng.New(seed)
+	agg := stale.NewStellaris()
+
+	target := make([]float64, dim)
+	for i := range target {
+		target[i] = r.NormFloat64()
+	}
+	theta := make([]float64, dim)
+
+	var res ConvergenceResult
+	var sumSq float64
+	next := 8
+	grad := make([]float64, dim)
+	for t := 1; t <= totalT; t++ {
+		// True gradient ∇J = θ - θ*; stochastic version adds noise;
+		// staleness delays it by δ updates worth of step drift, modeled
+		// by evaluating at a decayed iterate (bounded-staleness regime).
+		delta := r.Intn(maxStale + 1)
+		w := agg.Weight(delta) // Eq. 4 modulation
+		var normSq float64
+		for i := range theta {
+			g := theta[i] - target[i]
+			normSq += g * g
+			grad[i] = g + noise*r.NormFloat64()
+		}
+		sumSq += normSq
+		tensor.Axpy(-lr*w, grad, theta)
+		if t == next || t == totalT {
+			res.Ts = append(res.Ts, t)
+			res.GradNormSq = append(res.GradNormSq, sumSq/float64(t))
+			next *= 2
+		}
+	}
+	res.FitExponent = fitLogLogSlope(res.Ts, res.GradNormSq)
+	return res
+}
+
+// fitLogLogSlope returns the least-squares slope of log y against log x.
+func fitLogLogSlope(xs []int, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx := math.Log(float64(xs[i]))
+		ly := math.Log(math.Max(ys[i], 1e-300))
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

@@ -1,0 +1,195 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stellaris/internal/rng"
+)
+
+func TestRandomMDPWellFormed(t *testing.T) {
+	r := rng.New(1)
+	m := RandomMDP(6, 3, 0.9, r)
+	for s := 0; s < m.S; s++ {
+		for a := 0; a < m.A; a++ {
+			var sum float64
+			for _, p := range m.P[s][a] {
+				if p < 0 {
+					t.Fatal("negative transition probability")
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("P(%d,%d) sums to %v", s, a, sum)
+			}
+			if m.R[s][a] < 0 || m.R[s][a] > 1 {
+				t.Fatalf("reward %v outside [0,1]", m.R[s][a])
+			}
+		}
+	}
+	var sum float64
+	for _, p := range m.Start {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("start distribution sums to %v", sum)
+	}
+}
+
+func TestSoftmaxPolicyValid(t *testing.T) {
+	r := rng.New(2)
+	p := SoftmaxPolicy(RandomLogits(5, 4, 2.0, r))
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVOfBellmanConsistency: the linear-solve value function must
+// satisfy the Bellman equation pointwise.
+func TestVOfBellmanConsistency(t *testing.T) {
+	r := rng.New(3)
+	m := RandomMDP(8, 3, 0.95, r)
+	pi := SoftmaxPolicy(RandomLogits(8, 3, 1.0, r))
+	v := m.VOf(pi)
+	for s := 0; s < m.S; s++ {
+		var rhs float64
+		for a := 0; a < m.A; a++ {
+			ev := 0.0
+			for sp := 0; sp < m.S; sp++ {
+				ev += m.P[s][a][sp] * v[sp]
+			}
+			rhs += pi[s][a] * (m.R[s][a] + m.Gamma*ev)
+		}
+		if math.Abs(v[s]-rhs) > 1e-9 {
+			t.Fatalf("Bellman violation at state %d: %v vs %v", s, v[s], rhs)
+		}
+	}
+}
+
+// TestVBounds: with rewards in [0,1], V ∈ [0, 1/(1-γ)].
+func TestVBounds(t *testing.T) {
+	r := rng.New(4)
+	m := RandomMDP(6, 2, 0.9, r)
+	pi := SoftmaxPolicy(RandomLogits(6, 2, 1.0, r))
+	bound := 1 / (1 - m.Gamma)
+	for s, v := range m.VOf(pi) {
+		if v < -1e-9 || v > bound+1e-9 {
+			t.Fatalf("V(%d)=%v outside [0, %v]", s, v, bound)
+		}
+	}
+}
+
+// TestAdvantageZeroMeanUnderOwnPolicy: E_{a~π}[A^π(s,a)] = 0.
+func TestAdvantageZeroMeanUnderOwnPolicy(t *testing.T) {
+	r := rng.New(5)
+	m := RandomMDP(7, 4, 0.9, r)
+	pi := SoftmaxPolicy(RandomLogits(7, 4, 1.5, r))
+	adv := m.AdvantageOf(pi)
+	for s := 0; s < m.S; s++ {
+		var e float64
+		for a := 0; a < m.A; a++ {
+			e += pi[s][a] * adv[s][a]
+		}
+		if math.Abs(e) > 1e-9 {
+			t.Fatalf("E[A^π] = %v at state %d", e, s)
+		}
+	}
+}
+
+func TestTruncateRatiosBoundsRatios(t *testing.T) {
+	r := rng.New(6)
+	mu := SoftmaxPolicy(RandomLogits(6, 4, 1.0, r))
+	pi := SoftmaxPolicy(RandomLogits(6, 4, 3.0, r))
+	const rho = 1.5
+	trunc := TruncateRatios(pi, mu, rho)
+	if err := trunc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Renormalization can push a ratio slightly above rho only when the
+	// row lost mass; the pre-normalization cap is exact, so the final
+	// ratio is bounded by rho / (truncated row mass) — check a loose
+	// but sufficient bound and that truncation reduced the max ratio.
+	if MaxRatio(trunc, mu) > MaxRatio(pi, mu)+1e-12 && MaxRatio(pi, mu) > rho {
+		t.Fatalf("truncation did not reduce max ratio: %v -> %v",
+			MaxRatio(pi, mu), MaxRatio(trunc, mu))
+	}
+}
+
+// TestTheorem2Holds: the reward-improvement lower bound must hold on
+// every random instance (it is a theorem).
+func TestTheorem2Holds(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		c := CheckTheorem2(6, 3, 0.9, 1.5, 2.0, seed)
+		if !c.Holds {
+			t.Fatalf("seed %d: Theorem 2 violated: LHS %v < RHS %v (max ratio %v)",
+				seed, c.LHS, c.RHS, c.MaxRatio)
+		}
+		if c.RHS > 0 {
+			t.Fatalf("seed %d: lower bound %v positive", seed, c.RHS)
+		}
+	}
+}
+
+// TestTheorem2Property uses quick to fuzz MDP shapes and ρ values.
+func TestTheorem2Property(t *testing.T) {
+	f := func(seed uint32, rhoRaw, gRaw uint8) bool {
+		rho := 1.1 + float64(rhoRaw%20)*0.1 // 1.1 .. 3.0
+		gamma := 0.5 + float64(gRaw%4)*0.1  // 0.5 .. 0.8
+		c := CheckTheorem2(5, 3, gamma, rho, 1.5, uint64(seed))
+		return c.Holds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem1Rate: staleness-weighted SGD's mean squared gradient norm
+// must decay roughly as T^(-1/2) or faster (Theorem 1's O(1/√T)).
+func TestTheorem1Rate(t *testing.T) {
+	res := VerifyTheorem1(16, 1<<14, 4, 0.05, 0.5, 7)
+	if len(res.Ts) < 5 {
+		t.Fatalf("too few checkpoints: %d", len(res.Ts))
+	}
+	if res.FitExponent > -0.4 {
+		t.Fatalf("decay exponent %v slower than Theorem 1's -0.5", res.FitExponent)
+	}
+	// Sanity: the statistic actually decreases.
+	if res.GradNormSq[len(res.GradNormSq)-1] >= res.GradNormSq[0] {
+		t.Fatal("mean squared gradient norm did not decrease")
+	}
+}
+
+func TestFitLogLogSlope(t *testing.T) {
+	// y = x^(-0.5) exactly.
+	xs := []int{2, 4, 8, 16, 32, 64}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Pow(float64(x), -0.5)
+	}
+	if got := fitLogLogSlope(xs, ys); math.Abs(got+0.5) > 1e-9 {
+		t.Fatalf("slope %v, want -0.5", got)
+	}
+	if fitLogLogSlope([]int{1}, []float64{1}) != 0 {
+		t.Fatal("degenerate fit should be 0")
+	}
+}
+
+func TestPolicyValidateCatchesBadRows(t *testing.T) {
+	bad := Policy{{0.5, 0.4}} // sums to 0.9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+	neg := Policy{{1.5, -0.5}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestMaxRatio(t *testing.T) {
+	pi := Policy{{0.8, 0.2}}
+	mu := Policy{{0.4, 0.6}}
+	if got := MaxRatio(pi, mu); math.Abs(got-2.0) > 1e-12 {
+		t.Fatalf("MaxRatio = %v, want 2", got)
+	}
+}

@@ -1,0 +1,111 @@
+// Package stellaris is a Go reproduction of "Stellaris: Staleness-Aware
+// Distributed Reinforcement Learning with Serverless Computing"
+// (SC 2024): a generic asynchronous-learner paradigm for distributed DRL
+// training on serverless infrastructure.
+//
+// The package trains PPO or IMPACT policies on the bundled benchmark
+// environments over a deterministic discrete-event simulation of a
+// serverless container platform, implementing the paper's three
+// contributions:
+//
+//   - global importance-sampling truncation across asynchronous
+//     learners (Eq. 2),
+//   - staleness-aware gradient aggregation with an adaptive threshold
+//     β_k = δ_max·d^k and per-gradient learning-rate modulation
+//     α₀/δ^{1/v} (Eqs. 3-4),
+//   - on-demand serverless learner orchestration with the paper's
+//     dollar-per-resource-second cost model.
+//
+// A minimal run:
+//
+//	res, err := stellaris.Train(stellaris.Config{Env: "hopper"})
+//
+// Config zero values reproduce the paper's defaults (Stellaris
+// aggregation, d=0.96, v=3, ρ=1.0, 50 rounds). See DESIGN.md for the
+// architecture and EXPERIMENTS.md for the reproduced figures.
+package stellaris
+
+import (
+	"fmt"
+	"os"
+
+	"stellaris/internal/cache"
+	"stellaris/internal/core"
+	"stellaris/internal/live"
+)
+
+// Config describes one training run; see core.Config for field docs.
+type Config = core.Config
+
+// Result is the output of one training run.
+type Result = core.Result
+
+// AggregatorKind selects the gradient aggregation policy.
+type AggregatorKind = core.AggregatorKind
+
+// Aggregation policies.
+const (
+	// AggStellaris is the paper's staleness-aware adaptive aggregation.
+	AggStellaris = core.AggStellaris
+	// AggSoftsync delays aggregation until a fixed gradient count.
+	AggSoftsync = core.AggSoftsync
+	// AggSSP bounds staleness by gating fast learners.
+	AggSSP = core.AggSSP
+	// AggAsync applies gradients immediately with no control.
+	AggAsync = core.AggAsync
+	// AggSync is fully synchronous aggregation.
+	AggSync = core.AggSync
+)
+
+// Train runs one configuration to completion and returns its telemetry.
+func Train(cfg Config) (*Result, error) {
+	t, err := core.NewTrainer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return t.Run()
+}
+
+// LiveOptions configures LiveTrain, the operational (non-simulated)
+// training mode: real concurrent workers over the TCP distributed cache.
+type LiveOptions = live.Options
+
+// LiveReport summarizes a LiveTrain run.
+type LiveReport = live.Report
+
+// LiveTrain runs the actor/learner/parameter pipeline as real goroutine
+// workers exchanging payloads through a stellaris-cached server (or an
+// in-process one when no address is given).
+func LiveTrain(opt LiveOptions) (*LiveReport, error) { return live.Train(opt) }
+
+// EvalReport summarizes greedy-policy evaluation rollouts.
+type EvalReport = core.EvalReport
+
+// Evaluate rolls out trained weights greedily on cfg's environment.
+func Evaluate(cfg Config, weights []float64, episodes int, seed uint64) (*EvalReport, error) {
+	return core.Evaluate(cfg, weights, episodes, seed)
+}
+
+// SaveWeights writes a trained weight vector (Result.FinalWeights) to a
+// checkpoint file.
+func SaveWeights(path string, version int, weights []float64) error {
+	b, err := cache.EncodeWeights(&cache.WeightsMsg{Version: version, Weights: weights})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadWeights reads a checkpoint written by SaveWeights, returning the
+// recorded version and weight vector (usable as Config.InitWeights).
+func LoadWeights(path string) (version int, weights []float64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	msg, err := cache.DecodeWeights(b)
+	if err != nil {
+		return 0, nil, fmt.Errorf("stellaris: %s: %w", path, err)
+	}
+	return msg.Version, msg.Weights, nil
+}

@@ -1,0 +1,97 @@
+package stellaris_test
+
+import (
+	"testing"
+
+	"stellaris"
+)
+
+func TestTrainSmoke(t *testing.T) {
+	res, err := stellaris.Train(stellaris.Config{
+		Env: "cartpole", Algo: "ppo", Seed: 1,
+		Rounds: 2, UpdatesPerRound: 2,
+		NumActors: 4, ActorSteps: 32, BatchSize: 128, Hidden: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds.Rows) != 2 {
+		t.Fatalf("rounds %d", len(res.Rounds.Rows))
+	}
+	if res.TotalCostUSD <= 0 || res.Episodes == 0 {
+		t.Fatalf("result not populated: %+v", res)
+	}
+}
+
+func TestTrainInvalidConfig(t *testing.T) {
+	if _, err := stellaris.Train(stellaris.Config{Algo: "nope"}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestAggregatorConstantsExported(t *testing.T) {
+	kinds := []stellaris.AggregatorKind{
+		stellaris.AggStellaris, stellaris.AggSoftsync, stellaris.AggSSP,
+		stellaris.AggAsync, stellaris.AggSync,
+	}
+	seen := map[stellaris.AggregatorKind]bool{}
+	for _, k := range kinds {
+		if k == "" || seen[k] {
+			t.Fatalf("bad aggregator constant %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSaveLoadWeightsRoundTrip(t *testing.T) {
+	res, err := stellaris.Train(stellaris.Config{
+		Env: "cartpole", Seed: 2, Rounds: 1, UpdatesPerRound: 2,
+		NumActors: 4, ActorSteps: 32, BatchSize: 128, Hidden: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ck.gob"
+	if err := stellaris.SaveWeights(path, 7, res.FinalWeights); err != nil {
+		t.Fatal(err)
+	}
+	version, w, err := stellaris.LoadWeights(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 7 || len(w) != len(res.FinalWeights) {
+		t.Fatalf("loaded version %d, %d weights", version, len(w))
+	}
+	for i := range w {
+		if w[i] != res.FinalWeights[i] {
+			t.Fatal("weights corrupted through checkpoint")
+		}
+	}
+	// Warm start + evaluate through the public API.
+	rep, err := stellaris.Evaluate(stellaris.Config{Env: "cartpole", Hidden: 16}, w, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Episodes != 3 {
+		t.Fatalf("eval episodes %d", rep.Episodes)
+	}
+}
+
+func TestLoadWeightsMissingFile(t *testing.T) {
+	if _, _, err := stellaris.LoadWeights("/nonexistent/ck.gob"); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+func TestLiveTrainFacade(t *testing.T) {
+	rep, err := stellaris.LiveTrain(stellaris.LiveOptions{
+		Env: "cartpole", Seed: 3, Actors: 2, Learners: 1,
+		Updates: 2, ActorSteps: 16, BatchSize: 32, Hidden: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Updates < 2 {
+		t.Fatalf("live facade completed %d updates", rep.Updates)
+	}
+}
