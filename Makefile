@@ -1,0 +1,31 @@
+# Stellaris-Go build/test entry points. CI (.github/workflows/ci.yml)
+# runs exactly these targets so local dev and the gate are identical.
+
+GO ?= go
+COVERPROFILE ?= coverage.out
+
+.PHONY: build test race cover fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the fast test set; the chaos/CNN long runners
+# are gated behind testing.Short().
+race:
+	$(GO) test -race -short ./...
+
+cover:
+	$(GO) test -coverprofile=$(COVERPROFILE) -covermode=atomic ./...
+	$(GO) tool cover -func=$(COVERPROFILE) | tail -1
+
+# Fails (non-zero exit + file list) if any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt vet race cover

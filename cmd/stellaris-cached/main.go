@@ -6,6 +6,12 @@
 // Usage:
 //
 //	stellaris-cached -addr :6380
+//
+// For resilience drills the server can also expose a chaos endpoint: a
+// fault-injecting proxy in front of the real listener that drops,
+// delays, corrupts and severs traffic at the given per-chunk rates.
+//
+//	stellaris-cached -addr :6380 -fault-addr :6381 -fault-drop 0.05 -fault-close 0.01
 package main
 
 import (
@@ -14,12 +20,20 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"stellaris/internal/cache"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
+	faultAddr := flag.String("fault-addr", "127.0.0.1:6381", "chaos proxy listen address (used when any -fault-* rate > 0)")
+	faultDrop := flag.Float64("fault-drop", 0, "chaos proxy: per-chunk drop probability")
+	faultDelay := flag.Float64("fault-delay", 0, "chaos proxy: per-chunk delay probability")
+	faultMaxDelay := flag.Duration("fault-max-delay", 5*time.Millisecond, "chaos proxy: maximum injected delay")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "chaos proxy: per-chunk corruption probability")
+	faultClose := flag.Float64("fault-close", 0, "chaos proxy: per-chunk connection-close probability")
+	faultSeed := flag.Uint64("fault-seed", 1, "chaos proxy: fault RNG seed")
 	flag.Parse()
 
 	srv := cache.NewServer(nil)
@@ -30,9 +44,35 @@ func main() {
 	}
 	fmt.Printf("stellaris-cached listening on %s\n", bound)
 
+	var proxy *cache.FaultProxy
+	if *faultDrop > 0 || *faultDelay > 0 || *faultCorrupt > 0 || *faultClose > 0 {
+		proxy = cache.NewFaultProxy(bound, cache.FaultConfig{
+			DropRate:    *faultDrop,
+			DelayRate:   *faultDelay,
+			MaxDelay:    *faultMaxDelay,
+			CorruptRate: *faultCorrupt,
+			CloseRate:   *faultClose,
+			Seed:        *faultSeed,
+		})
+		pbound, err := proxy.Listen(*faultAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stellaris-cached: chaos proxy:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chaos proxy %v listening on %s\n", proxy, pbound)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	if proxy != nil {
+		st := proxy.Stats()
+		fmt.Printf("chaos proxy injected: %d drops, %d delays, %d corruptions, %d closes over %d conns\n",
+			st.Drops, st.Delays, st.Corruptions, st.Closes, st.Conns)
+		if err := proxy.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "stellaris-cached: chaos proxy close:", err)
+		}
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "stellaris-cached: close:", err)
 		os.Exit(1)

@@ -4,18 +4,27 @@
 // cache — the deployment shape of the paper's §VII implementation. Point
 // -cache at a running `stellaris-cached` instance to span processes, or
 // leave it empty to self-host the cache in-process.
+//
+// The -chaos flag routes all cache traffic through an in-process
+// fault-injecting proxy (drops, delays, corruption, connection closes at
+// the given per-chunk rate) to demonstrate the pipeline degrading
+// gracefully; the resilience counters in the summary show the recovery
+// work performed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
+	"stellaris/internal/cache"
 	"stellaris/internal/live"
 )
 
 func main() {
 	var opt live.Options
+	var chaos float64
 	flag.StringVar(&opt.CacheAddr, "cache", "", "stellaris-cached address (empty = in-process)")
 	flag.StringVar(&opt.Env, "env", "cartpole", "environment")
 	flag.IntVar(&opt.Actors, "actors", 4, "actor workers")
@@ -26,7 +35,46 @@ func main() {
 	flag.IntVar(&opt.Hidden, "hidden", 64, "MLP width")
 	flag.Float64Var(&opt.LearningRate, "lr", 0.0003, "learning rate")
 	flag.Uint64Var(&opt.Seed, "seed", 1, "seed")
+	flag.DurationVar(&opt.CacheOpTimeout, "op-timeout", 5*time.Second, "per-operation cache deadline")
+	flag.IntVar(&opt.CacheAttempts, "attempts", 4, "tries per cache operation (transport errors only)")
+	flag.Float64Var(&chaos, "chaos", 0, "fault-injection rate (0 disables; 0.05 = 5% drops/delays per chunk)")
 	flag.Parse()
+
+	if chaos > 0 {
+		if opt.CacheAddr == "" {
+			// Self-hosted cache: stand one up explicitly so the proxy
+			// has a target.
+			srv := cache.NewServer(nil)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			opt.CacheAddr = addr
+		}
+		proxy := cache.NewFaultProxy(opt.CacheAddr, cache.FaultConfig{
+			DropRate:    chaos,
+			DelayRate:   chaos,
+			MaxDelay:    2 * time.Millisecond,
+			CorruptRate: chaos / 2,
+			CloseRate:   chaos / 4,
+			Seed:        opt.Seed,
+		})
+		paddr, err := proxy.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			st := proxy.Stats()
+			fmt.Printf("chaos: injected %d drops, %d delays, %d corruptions, %d closes\n",
+				st.Drops, st.Delays, st.Corruptions, st.Closes)
+			proxy.Close()
+		}()
+		opt.CacheAddr = paddr
+		// Tighter deadlines recover faster under injected faults.
+		opt.CacheOpTimeout = 250 * time.Millisecond
+		opt.CacheAttempts = 10
+	}
 
 	rep, err := live.Train(opt)
 	if err != nil {
@@ -36,4 +84,7 @@ func main() {
 		rep.Updates, rep.Elapsed.Round(1e6), opt.Actors, opt.Learners)
 	fmt.Printf("episodes %d | mean return %.1f | mean staleness %.2f\n",
 		rep.Episodes, rep.MeanReturn, rep.MeanStaleness)
+	fmt.Printf("resilience: %d retries, %d reconnects, %d timeouts, %d stale-weight reuses, %d shed payloads\n",
+		rep.CacheRetries, rep.CacheReconnects, rep.CacheTimeouts,
+		rep.StaleWeightReuses, rep.DroppedPayloads)
 }

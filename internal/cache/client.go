@@ -1,0 +1,321 @@
+package cache
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stellaris/internal/rng"
+)
+
+// ErrClientClosed reports an operation on a Close()d client.
+var ErrClientClosed = errors.New("cache: client closed")
+
+// DialOptions tunes the client's fault-tolerance policy. The zero value
+// selects production defaults (see constants below); set a field
+// negative to disable it where that is meaningful.
+type DialOptions struct {
+	// DialTimeout bounds each TCP connect attempt (initial dial and
+	// reconnects). Default 5s.
+	DialTimeout time.Duration
+	// OpTimeout is the per-round-trip deadline, applied with
+	// SetDeadline before every request. Default 10s; negative disables
+	// deadlines entirely.
+	OpTimeout time.Duration
+	// Attempts is the total number of tries per operation (first try
+	// included). Only transport errors are retried — ErrNotFound and
+	// server '!' responses return immediately. Default 3; 1 disables
+	// retries.
+	Attempts int
+	// BackoffBase is the sleep before the first retry; each further
+	// retry doubles it up to BackoffMax, with ±50% jitter. Defaults
+	// 10ms and 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the jitter RNG so retry schedules are reproducible.
+	Seed uint64
+}
+
+const (
+	defaultDialTimeout = 5 * time.Second
+	defaultOpTimeout   = 10 * time.Second
+	defaultAttempts    = 3
+	defaultBackoffBase = 10 * time.Millisecond
+	defaultBackoffMax  = time.Second
+)
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	if o.OpTimeout == 0 {
+		o.OpTimeout = defaultOpTimeout
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = defaultAttempts
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = defaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = defaultBackoffMax
+	}
+	return o
+}
+
+// ClientStats counts fault-tolerance events since Dial. All fields are
+// monotone and safe to read concurrently (and after Close).
+type ClientStats struct {
+	// Retries counts round trips re-attempted after a transport error.
+	Retries int64
+	// Reconnects counts connections re-established after the shared
+	// connection was poisoned by an I/O error.
+	Reconnects int64
+	// Timeouts counts round trips that hit the OpTimeout deadline.
+	Timeouts int64
+}
+
+// Client is a Cache backed by a remote Server. Safe for concurrent use;
+// requests serialize over one connection. Transport errors poison the
+// connection, which is transparently re-dialed on the next attempt;
+// each operation retries per the DialOptions policy with exponential
+// backoff and jitter.
+type Client struct {
+	addr string
+	opts DialOptions
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	jitter *rng.RNG
+	closed bool
+
+	retries    atomic.Int64
+	reconnects atomic.Int64
+	timeouts   atomic.Int64
+}
+
+// Dial connects to a cache server with default DialOptions.
+func Dial(addr string) (*Client, error) { return DialWith(addr, DialOptions{}) }
+
+// DialWith connects to a cache server with an explicit fault-tolerance
+// policy. The initial connect is eager so configuration errors surface
+// immediately; it is not retried.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	c := &Client{
+		addr:   addr,
+		opts:   opts,
+		jitter: rng.New(opts.Seed ^ 0x5ca1ab1e),
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.attach(conn)
+	return c, nil
+}
+
+// attach installs conn as the client's live connection. Callers hold
+// c.mu (or are the constructor, before the client escapes).
+func (c *Client) attach(conn net.Conn) {
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 1<<16)
+	c.bw = bufio.NewWriterSize(conn, 1<<16)
+}
+
+// dropConn poisons the current connection so the next attempt redials.
+// Callers hold c.mu.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.br, c.bw = nil, nil
+	}
+}
+
+// Close releases the connection. Safe to call concurrently with
+// in-flight operations and more than once; operations issued after
+// Close fail with ErrClientClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+		c.conn = nil
+		c.br, c.bw = nil, nil
+	}
+	return err
+}
+
+// Stats returns the fault-tolerance counters accumulated so far.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Retries:    c.retries.Load(),
+		Reconnects: c.reconnects.Load(),
+		Timeouts:   c.timeouts.Load(),
+	}
+}
+
+// roundTrip performs one request/response exchange with reconnect and
+// retry. Status-level outcomes ('-' not found, '!' server error) are
+// returned to the caller without retrying; only transport failures
+// (dial, write, deadline, short/garbled response) burn attempts.
+func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
+		if c.closed {
+			return 0, nil, ErrClientClosed
+		}
+		if attempt > 0 {
+			c.retries.Add(1)
+			time.Sleep(c.backoff(attempt))
+		}
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			c.attach(conn)
+			c.reconnects.Add(1)
+		}
+		status, payload, err := c.exchange(op, key, value)
+		if err == nil {
+			return status, payload, nil
+		}
+		lastErr = err
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			c.timeouts.Add(1)
+		}
+		// Any I/O or framing error leaves the stream in an unknown
+		// state: a retry on the same connection could read the stale
+		// reply of the failed request. Poison it.
+		c.dropConn()
+	}
+	return 0, nil, fmt.Errorf("cache: op %q key %q failed after %d attempts: %w",
+		op, key, c.opts.Attempts, lastErr)
+}
+
+// exchange writes one frame and reads one response on the live
+// connection. Callers hold c.mu and guarantee c.conn != nil.
+func (c *Client) exchange(op byte, key string, value []byte) (byte, []byte, error) {
+	if c.opts.OpTimeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.opts.OpTimeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	if err := writeFrame(c.bw, op, key, value); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return readResp(c.br)
+}
+
+// backoff returns the sleep before retry number attempt (1-based), an
+// exponentially grown base with ±50% deterministic jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.opts.BackoffBase << uint(attempt-1)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	return time.Duration((0.5 + c.jitter.Float64()) * float64(d))
+}
+
+// Put implements Cache.
+func (c *Client) Put(key string, val []byte) error {
+	status, payload, err := c.roundTrip('P', key, val)
+	return respErr(status, payload, err, key)
+}
+
+// Get implements Cache.
+func (c *Client) Get(key string) ([]byte, error) {
+	status, payload, err := c.roundTrip('G', key, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status == '-' {
+		return nil, ErrNotFound{Key: key}
+	}
+	if status != '+' {
+		return nil, errors.New(string(payload))
+	}
+	return payload, nil
+}
+
+// Delete implements Cache.
+func (c *Client) Delete(key string) error {
+	status, payload, err := c.roundTrip('D', key, nil)
+	return respErr(status, payload, err, key)
+}
+
+// Incr implements Cache. Unlike the idempotent Put/Get/Delete, a retry
+// after a lost response re-applies the increment (at-least-once
+// semantics) — counters may overcount under transport faults.
+func (c *Client) Incr(key string) (int64, error) {
+	status, payload, err := c.roundTrip('I', key, nil)
+	if err != nil {
+		return 0, err
+	}
+	if status != '+' {
+		return 0, errors.New(string(payload))
+	}
+	return strconv.ParseInt(string(payload), 10, 64)
+}
+
+// Keys implements Cache.
+func (c *Client) Keys(prefix string) ([]string, error) {
+	status, payload, err := c.roundTrip('K', prefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != '+' {
+		return nil, errors.New(string(payload))
+	}
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(payload), "\n"), nil
+}
+
+// Len implements Cache.
+func (c *Client) Len() (int, error) {
+	status, payload, err := c.roundTrip('L', "", nil)
+	if err != nil {
+		return 0, err
+	}
+	if status != '+' {
+		return 0, errors.New(string(payload))
+	}
+	return strconv.Atoi(string(payload))
+}
+
+func respErr(status byte, payload []byte, err error, key string) error {
+	if err != nil {
+		return err
+	}
+	if status == '-' {
+		return ErrNotFound{Key: key}
+	}
+	if status != '+' {
+		return errors.New(string(payload))
+	}
+	return nil
+}

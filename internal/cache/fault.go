@@ -1,0 +1,249 @@
+package cache
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stellaris/internal/rng"
+)
+
+// FaultConfig sets per-chunk fault probabilities for a FaultProxy. Each
+// chunk of bytes copied in either direction rolls independently against
+// the rates, in the order Close → Drop → Corrupt → Delay (a closed
+// connection obviously skips the later rolls). All randomness derives
+// from Seed, so a given fault schedule is reproducible for a fixed
+// interleaving of traffic.
+type FaultConfig struct {
+	// DropRate is the probability a chunk is silently discarded. Mid-
+	// frame drops desynchronize the stream; clients recover via the
+	// OpTimeout deadline and reconnect.
+	DropRate float64
+	// DelayRate is the probability a chunk is held for a uniform
+	// duration in (0, MaxDelay].
+	DelayRate float64
+	MaxDelay  time.Duration
+	// CorruptRate is the probability one byte of the chunk is flipped
+	// before forwarding.
+	CorruptRate float64
+	// CloseRate is the probability the proxy severs both directions of
+	// the connection mid-stream.
+	CloseRate float64
+	// Seed drives the fault RNG streams.
+	Seed uint64
+}
+
+// FaultStats counts faults actually injected.
+type FaultStats struct {
+	Drops       int64
+	Delays      int64
+	Corruptions int64
+	Closes      int64
+	// Conns is the number of client connections accepted.
+	Conns int64
+}
+
+// FaultProxy is a chaos TCP proxy that sits between a cache Client and
+// Server and injects transport faults per FaultConfig. It exists to
+// prove the live training pipeline degrades gracefully when the shared
+// cache (the paper's Redis) misbehaves.
+type FaultProxy struct {
+	target string
+	cfg    FaultConfig
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	done   bool
+	conns  map[net.Conn]struct{}
+	nextID uint64
+
+	drops       atomic.Int64
+	delays      atomic.Int64
+	corruptions atomic.Int64
+	closes      atomic.Int64
+	accepted    atomic.Int64
+}
+
+// NewFaultProxy returns a proxy forwarding to target ("host:port") with
+// the given fault policy. Call Listen to start it.
+func NewFaultProxy(target string, cfg FaultConfig) *FaultProxy {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 5 * time.Millisecond
+	}
+	return &FaultProxy{
+		target: target,
+		cfg:    cfg,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen starts accepting on addr (port 0 picks a free port) and
+// returns the bound address clients should dial.
+func (p *FaultProxy) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Stats returns the injected-fault counters.
+func (p *FaultProxy) Stats() FaultStats {
+	return FaultStats{
+		Drops:       p.drops.Load(),
+		Delays:      p.delays.Load(),
+		Corruptions: p.corruptions.Load(),
+		Closes:      p.closes.Load(),
+		Conns:       p.accepted.Load(),
+	}
+}
+
+// Close stops the listener, severs all proxied connections, and waits
+// for the pump goroutines. Idempotent.
+func (p *FaultProxy) Close() error {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return nil
+	}
+	p.done = true
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+	var err error
+	if p.ln != nil {
+		err = p.ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// track registers a live connection for force-close on proxy Close;
+// returns false if the proxy is already closing.
+func (p *FaultProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *FaultProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *FaultProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.accepted.Add(1)
+		p.mu.Lock()
+		id := p.nextID
+		p.nextID++
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serve(client, id)
+		}()
+	}
+}
+
+func (p *FaultProxy) serve(client net.Conn, id uint64) {
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	if !p.track(client) || !p.track(upstream) {
+		_ = client.Close()
+		_ = upstream.Close()
+		return
+	}
+	defer func() {
+		p.untrack(client)
+		p.untrack(upstream)
+		_ = client.Close()
+		_ = upstream.Close()
+	}()
+	// Independent, deterministic RNG stream per connection+direction,
+	// split before spawning: the parent generator is not goroutine-safe.
+	base := rng.New(p.cfg.Seed ^ 0xfa017)
+	downRNG := base.Split(2 * id)
+	upRNG := base.Split(2*id + 1)
+	var pumps sync.WaitGroup
+	pumps.Add(1)
+	go func() {
+		defer pumps.Done()
+		p.pump(upstream, client, downRNG)
+	}()
+	// The reverse direction runs inline; when it exits it closes both
+	// conns, which unblocks the goroutine above.
+	p.pump(client, upstream, upRNG)
+	pumps.Wait()
+}
+
+// pump copies src → dst in chunks, rolling each chunk against the fault
+// rates. Returning closes both ends (via serve's defer), which is how a
+// Close fault propagates to the peer direction too.
+func (p *FaultProxy) pump(src, dst net.Conn, r *rng.RNG) {
+	// Small chunks give faults sub-frame granularity: a 9-byte request
+	// header and a 64 KiB weights payload both get multiple rolls.
+	buf := make([]byte, 1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if p.cfg.CloseRate > 0 && r.Float64() < p.cfg.CloseRate {
+				p.closes.Add(1)
+				_ = src.Close()
+				_ = dst.Close()
+				return
+			}
+			if p.cfg.DropRate > 0 && r.Float64() < p.cfg.DropRate {
+				p.drops.Add(1)
+				continue
+			}
+			if p.cfg.CorruptRate > 0 && r.Float64() < p.cfg.CorruptRate {
+				p.corruptions.Add(1)
+				chunk[r.Intn(n)] ^= 0xFF
+			}
+			if p.cfg.DelayRate > 0 && r.Float64() < p.cfg.DelayRate {
+				p.delays.Add(1)
+				time.Sleep(time.Duration(1 + r.Intn(int(p.cfg.MaxDelay))))
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				_ = src.Close()
+				return
+			}
+		}
+		if err != nil {
+			// EOF or forced close: sever the paired direction so the
+			// peer observes the failure promptly instead of waiting on
+			// a half-open connection.
+			_ = dst.Close()
+			return
+		}
+	}
+}
+
+// String describes the proxy for logs.
+func (p *FaultProxy) String() string {
+	return fmt.Sprintf("FaultProxy(target=%s drop=%.2f delay=%.2f corrupt=%.2f close=%.2f)",
+		p.target, p.cfg.DropRate, p.cfg.DelayRate, p.cfg.CorruptRate, p.cfg.CloseRate)
+}

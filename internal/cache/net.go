@@ -3,7 +3,6 @@ package cache
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -101,6 +100,7 @@ type Server struct {
 	wg    sync.WaitGroup
 	mu    sync.Mutex
 	done  bool
+	conns map[net.Conn]struct{}
 }
 
 // NewServer wraps store (nil allocates a fresh MemCache).
@@ -108,7 +108,7 @@ func NewServer(store *MemCache) *Server {
 	if store == nil {
 		store = NewMemCache()
 	}
-	return &Server{store: store}
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen starts accepting connections on addr ("host:port"; port 0 picks
@@ -140,7 +140,20 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	for {
@@ -158,6 +171,14 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(w io.Writer, f frame) error {
+	// Key-addressed ops require a key; 'K' (prefix scan) and 'L' (len)
+	// legitimately take an empty operand.
+	switch f.op {
+	case 'P', 'G', 'D', 'I':
+		if f.key == "" {
+			return writeResp(w, '!', []byte(fmt.Sprintf("empty key for op %q", f.op)))
+		}
+	}
 	switch f.op {
 	case 'P':
 		_ = s.store.Put(f.key, f.value)
@@ -185,7 +206,9 @@ func (s *Server) handle(w io.Writer, f frame) error {
 	}
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, severs any connections still open (so a
+// lingering client cannot wedge shutdown), and waits for the handler
+// goroutines to drain. Idempotent.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.done {
@@ -193,6 +216,9 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.done = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
 	s.mu.Unlock()
 	var err error
 	if s.ln != nil {
@@ -200,120 +226,4 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
-}
-
-// Client is a Cache backed by a remote Server. Safe for concurrent use;
-// requests serialize over one connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-}
-
-// Dial connects to a cache server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 1<<16),
-		bw:   bufio.NewWriterSize(conn, 1<<16),
-	}, nil
-}
-
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.bw, op, key, value); err != nil {
-		return 0, nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return 0, nil, err
-	}
-	return readResp(c.br)
-}
-
-// Put implements Cache.
-func (c *Client) Put(key string, val []byte) error {
-	status, payload, err := c.roundTrip('P', key, val)
-	return respErr(status, payload, err, key)
-}
-
-// Get implements Cache.
-func (c *Client) Get(key string) ([]byte, error) {
-	status, payload, err := c.roundTrip('G', key, nil)
-	if err != nil {
-		return nil, err
-	}
-	if status == '-' {
-		return nil, ErrNotFound{Key: key}
-	}
-	if status != '+' {
-		return nil, errors.New(string(payload))
-	}
-	return payload, nil
-}
-
-// Delete implements Cache.
-func (c *Client) Delete(key string) error {
-	status, payload, err := c.roundTrip('D', key, nil)
-	return respErr(status, payload, err, key)
-}
-
-// Incr implements Cache.
-func (c *Client) Incr(key string) (int64, error) {
-	status, payload, err := c.roundTrip('I', key, nil)
-	if err != nil {
-		return 0, err
-	}
-	if status != '+' {
-		return 0, errors.New(string(payload))
-	}
-	return strconv.ParseInt(string(payload), 10, 64)
-}
-
-// Keys implements Cache.
-func (c *Client) Keys(prefix string) ([]string, error) {
-	status, payload, err := c.roundTrip('K', prefix, nil)
-	if err != nil {
-		return nil, err
-	}
-	if status != '+' {
-		return nil, errors.New(string(payload))
-	}
-	if len(payload) == 0 {
-		return nil, nil
-	}
-	return strings.Split(string(payload), "\n"), nil
-}
-
-// Len implements Cache.
-func (c *Client) Len() (int, error) {
-	status, payload, err := c.roundTrip('L', "", nil)
-	if err != nil {
-		return 0, err
-	}
-	if status != '+' {
-		return 0, errors.New(string(payload))
-	}
-	return strconv.Atoi(string(payload))
-}
-
-func respErr(status byte, payload []byte, err error, key string) error {
-	if err != nil {
-		return err
-	}
-	if status == '-' {
-		return ErrNotFound{Key: key}
-	}
-	if status != '+' {
-		return errors.New(string(payload))
-	}
-	return nil
 }

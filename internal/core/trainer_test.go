@@ -79,6 +79,9 @@ func TestTrainerDeterministicPerSeed(t *testing.T) {
 }
 
 func TestTrainerAllAggregators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five full trainer runs; skipped in -short")
+	}
 	for _, agg := range []AggregatorKind{AggStellaris, AggSoftsync, AggSSP, AggAsync, AggSync} {
 		cfg := tinyConfig()
 		cfg.Aggregator = agg
@@ -184,6 +187,9 @@ func TestTrainerHPCInstances(t *testing.T) {
 }
 
 func TestTrainerImageEnv(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CNN forward/backward passes dominate the package runtime; skipped in -short")
+	}
 	cfg := tinyConfig()
 	cfg.Env = "invaders"
 	cfg.FrameSize = 20

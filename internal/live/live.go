@@ -57,6 +57,17 @@ type Options struct {
 	SmoothV         int
 	Rho             float64
 	UpdatesPerRound int
+	// CacheOpTimeout bounds every cache round trip (SetDeadline on the
+	// connection); default 5s.
+	CacheOpTimeout time.Duration
+	// CacheAttempts is the total tries per cache operation — transport
+	// errors are retried with exponential backoff and jitter, protocol
+	// errors are not. Default 4.
+	CacheAttempts int
+	// MaxStaleFallbacks bounds how many consecutive failed weight
+	// fetches a worker tolerates (reusing its stale copy) before the
+	// run aborts; default 50.
+	MaxStaleFallbacks int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -96,6 +107,15 @@ func (o Options) withDefaults() (Options, error) {
 	if o.UpdatesPerRound <= 0 {
 		o.UpdatesPerRound = 8
 	}
+	if o.CacheOpTimeout == 0 {
+		o.CacheOpTimeout = 5 * time.Second
+	}
+	if o.CacheAttempts <= 0 {
+		o.CacheAttempts = 4
+	}
+	if o.MaxStaleFallbacks <= 0 {
+		o.MaxStaleFallbacks = 50
+	}
 	return o, nil
 }
 
@@ -107,6 +127,22 @@ type Report struct {
 	MeanStaleness float64
 	Elapsed       time.Duration
 	FinalWeights  []float64
+
+	// Resilience counters, aggregated over every cache client the run
+	// opened plus the workers' graceful-degradation fallbacks. All stay
+	// zero on a healthy cache.
+	//
+	// CacheRetries/CacheReconnects/CacheTimeouts mirror
+	// cache.ClientStats summed across workers.
+	CacheRetries    int64
+	CacheReconnects int64
+	CacheTimeouts   int64
+	// StaleWeightReuses counts worker iterations that proceeded on a
+	// previously fetched weight vector because the fetch failed.
+	StaleWeightReuses int64
+	// DroppedPayloads counts trajectories/gradients abandoned after
+	// retry exhaustion or corrupt decode (the shed-load path).
+	DroppedPayloads int64
 }
 
 // trajNote tells the data loader a trajectory landed in the cache.
@@ -142,8 +178,23 @@ func Train(opt Options) (*Report, error) {
 		}
 		defer srv.Close()
 	}
-	// One client per worker keeps request streams independent.
-	dial := func() (*cache.Client, error) { return cache.Dial(addr) }
+	// One client per worker keeps request streams independent. Every
+	// client shares the run's retry/deadline policy and is registered so
+	// its fault-tolerance counters can be folded into the Report.
+	pool := &clientPool{}
+	var dialSeq atomic.Uint64
+	dial := func() (*cache.Client, error) {
+		cli, err := cache.DialWith(addr, cache.DialOptions{
+			OpTimeout: opt.CacheOpTimeout,
+			Attempts:  opt.CacheAttempts,
+			Seed:      opt.Seed + dialSeq.Add(1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pool.add(cli)
+		return cli, nil
+	}
 
 	template, err := env.NewSized(opt.Env, opt.FrameSize)
 	if err != nil {
@@ -178,16 +229,28 @@ func Train(opt Options) (*Report, error) {
 	}
 
 	var (
-		stop     atomic.Bool
-		version  atomic.Int64
-		episodes atomic.Int64
-		retMu    sync.Mutex
-		returns  []float64
+		stop        atomic.Bool
+		version     atomic.Int64
+		episodes    atomic.Int64
+		staleReuses atomic.Int64
+		dropped     atomic.Int64
+		retMu       sync.Mutex
+		returns     []float64
 	)
 	trajCh := make(chan trajNote, 4*opt.Actors)
 	batchCh := make(chan []string, 2*opt.Learners)
 	gradCh := make(chan gradNote, 2*opt.Learners)
 	errCh := make(chan error, opt.Actors+opt.Learners+2)
+	// fail records a fatal worker error AND stops the pipeline: without
+	// the stop, Train would wait forever on a parameter worker whose
+	// feeders have all died (e.g. the cache going away permanently).
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+		stop.Store(true)
+	}
 	tracker := istrunc.New(opt.Rho, true)
 
 	var wg sync.WaitGroup
@@ -201,27 +264,45 @@ func Train(opt Options) (*Report, error) {
 			defer wg.Done()
 			cli, err := dial()
 			if err != nil {
-				errCh <- err
+				fail(err)
 				return
 			}
 			defer cli.Close()
 			e, err := env.NewSized(opt.Env, opt.FrameSize)
 			if err != nil {
-				errCh <- err
+				fail(err)
 				return
 			}
 			model := algo.NewModelHidden(e, opt.Hidden, opt.Seed)
 			var obs []float64
 			var epRet float64
+			var lastW []float64
+			staleStreak := 0
 			seq := 0
 			for !stop.Load() {
 				w, _, err := getWeights(cli)
 				if err != nil {
-					errCh <- err
-					return
+					// Transient cache failure or corrupt payload: degrade
+					// to the stale copy instead of aborting the run. The
+					// client already applied its deadline+retry budget, so
+					// each fallback is a bounded wait.
+					staleStreak++
+					if staleStreak > opt.MaxStaleFallbacks {
+						fail(fmt.Errorf("live: actor %d: weights unavailable after %d fallbacks: %w", id, staleStreak, err))
+						return
+					}
+					staleReuses.Add(1)
+					if lastW == nil {
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					w = lastW
+				} else {
+					lastW = w
+					staleStreak = 0
 				}
 				if err := model.SetWeights(w); err != nil {
-					errCh <- err
+					fail(err)
 					return
 				}
 				if obs == nil {
@@ -256,12 +337,15 @@ func Train(opt Options) (*Report, error) {
 				seq++
 				b, err := cache.EncodeTrajectory(traj)
 				if err != nil {
-					errCh <- err
+					fail(err)
 					return
 				}
 				if err := cli.Put(key, b); err != nil {
-					errCh <- err
-					return
+					// Retries exhausted: shed this trajectory and keep
+					// sampling — losing rollouts is recoverable, dying
+					// is not.
+					dropped.Add(1)
+					continue
 				}
 				select {
 				case trajCh <- trajNote{key: key, steps: len(traj.Steps)}:
@@ -313,11 +397,14 @@ func Train(opt Options) (*Report, error) {
 			defer wg.Done()
 			cli, err := dial()
 			if err != nil {
-				errCh <- err
+				fail(err)
 				return
 			}
 			defer cli.Close()
 			model := algo.NewModelHidden(template, opt.Hidden, opt.Seed)
+			var lastW []float64
+			lastBorn := 0
+			staleStreak := 0
 			seq := 0
 			for !stop.Load() {
 				var keys []string
@@ -328,11 +415,26 @@ func Train(opt Options) (*Report, error) {
 				}
 				w, born, err := getWeights(cli)
 				if err != nil {
-					errCh <- err
-					return
+					staleStreak++
+					if staleStreak > opt.MaxStaleFallbacks {
+						fail(fmt.Errorf("live: learner %d: weights unavailable after %d fallbacks: %w", id, staleStreak, err))
+						return
+					}
+					staleReuses.Add(1)
+					if lastW == nil {
+						// No weights ever fetched: shed the batch after a
+						// bounded wait rather than compute garbage.
+						dropped.Add(1)
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					w, born = lastW, lastBorn
+				} else {
+					lastW, lastBorn = w, born
+					staleStreak = 0
 				}
 				if err := model.SetWeights(w); err != nil {
-					errCh <- err
+					fail(err)
 					return
 				}
 				var trajs []*replay.Trajectory
@@ -343,8 +445,9 @@ func Train(opt Options) (*Report, error) {
 					}
 					tr, err := cache.DecodeTrajectory(raw)
 					if err != nil {
-						errCh <- err
-						return
+						// Corrupted in transit or storage: skip it.
+						dropped.Add(1)
+						continue
 					}
 					trajs = append(trajs, tr)
 					_ = cli.Delete(k)
@@ -354,7 +457,7 @@ func Train(opt Options) (*Report, error) {
 				}
 				batch, err := replay.Flatten(trajs)
 				if err != nil {
-					errCh <- err
+					fail(err)
 					return
 				}
 				g := alg.Compute(model, batch, tracker.View(), algo.Extra{}, r.Split(uint64(seq)))
@@ -366,12 +469,14 @@ func Train(opt Options) (*Report, error) {
 					MinRatio: g.Stats.MinRatio, KL: g.Stats.KL, Entropy: g.Stats.Entropy,
 				})
 				if err != nil {
-					errCh <- err
+					fail(err)
 					return
 				}
 				if err := cli.Put(gkey, gb); err != nil {
-					errCh <- err
-					return
+					// Retries exhausted: shed the gradient; the actors
+					// keep producing and a later batch will land.
+					dropped.Add(1)
+					continue
 				}
 				select {
 				case gradCh <- gradNote{
@@ -415,8 +520,11 @@ func Train(opt Options) (*Report, error) {
 			}
 			msg, err := cache.DecodeGrad(raw)
 			if err != nil {
-				errCh <- err
-				return
+				// Corrupted gradient: discard it, the learners will
+				// produce more.
+				dropped.Add(1)
+				_ = paramCli.Delete(note.key)
+				continue
 			}
 			_ = paramCli.Delete(note.key)
 			tracker.Observe(msg.MeanRatio)
@@ -438,8 +546,11 @@ func Train(opt Options) (*Report, error) {
 			staleSum += comb.MeanStaleness
 			staleN++
 			nv := version.Add(1)
-			if err := putWeights(paramCli, int(nv), weights); err != nil {
-				errCh <- err
+			// Publishing new weights is the one write the pipeline cannot
+			// shed: on top of the client's own retry budget, keep trying
+			// through a longer outage before declaring the run dead.
+			if err := putWeightsPersistent(paramCli, int(nv), weights, &stop); err != nil {
+				fail(err)
 				return
 			}
 			if int(nv) >= opt.Updates {
@@ -458,11 +569,17 @@ func Train(opt Options) (*Report, error) {
 	default:
 	}
 
+	cst := pool.stats()
 	rep := &Report{
-		Updates:      int(version.Load()),
-		Episodes:     int(episodes.Load()),
-		Elapsed:      time.Since(start),
-		FinalWeights: weights,
+		Updates:           int(version.Load()),
+		Episodes:          int(episodes.Load()),
+		Elapsed:           time.Since(start),
+		FinalWeights:      weights,
+		CacheRetries:      cst.Retries,
+		CacheReconnects:   cst.Reconnects,
+		CacheTimeouts:     cst.Timeouts,
+		StaleWeightReuses: staleReuses.Load(),
+		DroppedPayloads:   dropped.Load(),
 	}
 	if staleN > 0 {
 		rep.MeanStaleness = staleSum / float64(staleN)
@@ -477,6 +594,50 @@ func Train(opt Options) (*Report, error) {
 	}
 	retMu.Unlock()
 	return rep, nil
+}
+
+// clientPool tracks every cache client a run opens so their
+// fault-tolerance counters can be aggregated into the Report (counters
+// stay readable after Close).
+type clientPool struct {
+	mu      sync.Mutex
+	clients []*cache.Client
+}
+
+func (p *clientPool) add(c *cache.Client) {
+	p.mu.Lock()
+	p.clients = append(p.clients, c)
+	p.mu.Unlock()
+}
+
+func (p *clientPool) stats() cache.ClientStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sum cache.ClientStats
+	for _, c := range p.clients {
+		s := c.Stats()
+		sum.Retries += s.Retries
+		sum.Reconnects += s.Reconnects
+		sum.Timeouts += s.Timeouts
+	}
+	return sum
+}
+
+// putWeightsPersistent retries putWeights through an extended outage,
+// backing off between rounds, until stop is set or the budget (16
+// rounds on top of the client's own per-op retries) runs out.
+func putWeightsPersistent(c cache.Cache, version int, w []float64, stop *atomic.Bool) error {
+	var err error
+	for round := 0; round < 16; round++ {
+		if err = putWeights(c, version, w); err == nil {
+			return nil
+		}
+		if stop.Load() {
+			return err
+		}
+		time.Sleep(time.Duration(round+1) * 10 * time.Millisecond)
+	}
+	return fmt.Errorf("live: publishing weights v%d failed persistently: %w", version, err)
 }
 
 // putWeights stores a versioned weight vector.
