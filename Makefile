@@ -3,8 +3,10 @@
 
 GO ?= go
 COVERPROFILE ?= coverage.out
+BENCHTIME ?= 100ms
+BENCHPKGS ?= . ./internal/nn ./internal/cache
 
-.PHONY: build test race cover fmt vet ci
+.PHONY: build test race cover fmt vet bench ci
 
 build:
 	$(GO) build ./...
@@ -27,5 +29,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Quick benchmark sweep over the hot-path packages. BENCH_live.txt is
+# benchstat-compatible; BENCH_live.json is the same results as JSON (via
+# cmd/bench2json). Raise BENCHTIME for stabler numbers.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) $(BENCHPKGS) | tee BENCH_live.txt
+	$(GO) run ./cmd/bench2json -o BENCH_live.json < BENCH_live.txt
 
 ci: build fmt vet race cover

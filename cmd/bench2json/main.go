@@ -1,0 +1,104 @@
+// Command bench2json converts `go test -bench` text output (which
+// benchstat consumes directly) into a JSON array, so benchmark results
+// can be archived next to the other machine-readable artifacts and
+// diffed across commits without parsing.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | bench2json -o BENCH_live.json
+//
+// Each benchmark line becomes one record:
+//
+//	{"pkg":"stellaris/internal/nn","name":"BenchmarkForward-8",
+//	 "runs":12345,"metrics":{"ns/op":901.2,"B/op":64,"allocs/op":2}}
+//
+// Non-benchmark lines (PASS, ok, goos...) set context or are ignored, so
+// the full `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result.
+type Record struct {
+	Pkg     string             `json:"pkg,omitempty"`
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func parse(r io.Reader) ([]Record, error) {
+	var out []Record
+	var pkg string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 2 && fields[0] == "pkg:":
+			pkg = fields[1]
+		case len(fields) >= 2 && fields[0] == "ok":
+			// Package trailer: the next benchmarks (if any) belong to a
+			// new package whose "pkg:" header will follow.
+			pkg = ""
+		case len(fields) >= 4 && strings.HasPrefix(fields[0], "Benchmark"):
+			runs, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				continue // a Benchmark-prefixed test name, not a result line
+			}
+			rec := Record{Pkg: pkg, Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+			// The tail is (value, unit) pairs: 1234 ns/op 56 B/op ...
+			for i := 2; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					break
+				}
+				rec.Metrics[fields[i+1]] = v
+			}
+			if len(rec.Metrics) > 0 {
+				out = append(out, rec)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	recs, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if recs == nil {
+		recs = []Record{} // emit [] rather than null on empty input
+	}
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench2json: %d benchmarks\n", len(recs))
+}

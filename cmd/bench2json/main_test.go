@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchStream(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: stellaris/internal/nn
+cpu: whatever
+BenchmarkForward-8   	   12345	      901.2 ns/op	      64 B/op	       2 allocs/op
+BenchmarkBackward-8  	     678	    54321 ns/op
+PASS
+ok  	stellaris/internal/nn	1.234s
+pkg: stellaris/internal/cache
+BenchmarkPut-8       	    1000	     2000 ns/op
+ok  	stellaris/internal/cache	0.5s
+`
+	recs, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3: %+v", len(recs), recs)
+	}
+	r := recs[0]
+	if r.Pkg != "stellaris/internal/nn" || r.Name != "BenchmarkForward-8" || r.Runs != 12345 {
+		t.Fatalf("first record wrong: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 901.2 || r.Metrics["B/op"] != 64 || r.Metrics["allocs/op"] != 2 {
+		t.Fatalf("metrics wrong: %+v", r.Metrics)
+	}
+	if recs[2].Pkg != "stellaris/internal/cache" {
+		t.Fatalf("pkg context not tracked: %+v", recs[2])
+	}
+}
+
+func TestParseIgnoresNonResults(t *testing.T) {
+	in := "=== RUN   BenchmarkNotAResult\n--- PASS: TestSomething (0.01s)\n"
+	recs, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("parsed %d records from noise", len(recs))
+	}
+}

@@ -23,10 +23,12 @@ import (
 	"time"
 
 	"stellaris/internal/cache"
+	"stellaris/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
+	obsAddr := flag.String("obs-addr", "", "metrics/pprof HTTP address (e.g. :9090; empty disables)")
 	faultAddr := flag.String("fault-addr", "127.0.0.1:6381", "chaos proxy listen address (used when any -fault-* rate > 0)")
 	faultDrop := flag.Float64("fault-drop", 0, "chaos proxy: per-chunk drop probability")
 	faultDelay := flag.Float64("fault-delay", 0, "chaos proxy: per-chunk delay probability")
@@ -37,6 +39,17 @@ func main() {
 	flag.Parse()
 
 	srv := cache.NewServer(nil)
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.Instrument(reg)
+		hs, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stellaris-cached: obs:", err)
+			os.Exit(1)
+		}
+		defer hs.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", hs.Addr())
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "stellaris-cached:", err)

@@ -16,6 +16,7 @@ import (
 	"stellaris"
 	"stellaris/internal/core"
 	"stellaris/internal/env"
+	"stellaris/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 		savePath   = flag.String("save", "", "write final policy weights to this checkpoint")
 		loadPath   = flag.String("load", "", "warm-start from a checkpoint written with -save")
 		evalEps    = flag.Int("eval", 0, "after training, greedy-evaluate this many episodes")
+		obsAddr    = flag.String("obs-addr", "", "metrics/pprof HTTP address (e.g. :9090; empty disables)")
+		obsDir     = flag.String("obs-dir", "", "write metrics.{json,csv,prom} snapshots here when the run ends")
 	)
 	flag.StringVar(&cfg.Env, "env", "hopper", "environment name")
 	flag.StringVar(&cfg.Algo, "algo", "ppo", "algorithm: ppo or impact")
@@ -69,6 +72,18 @@ func main() {
 		cfg.InitWeights = w
 	}
 
+	if *obsAddr != "" || *obsDir != "" {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if *obsAddr != "" {
+		hs, err := obs.Serve(*obsAddr, cfg.Obs)
+		if err != nil {
+			fatal(err)
+		}
+		defer hs.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof under /debug/pprof/)\n", hs.Addr())
+	}
+
 	t, err := core.NewTrainer(cfg)
 	if err != nil {
 		fatal(err)
@@ -76,6 +91,12 @@ func main() {
 	res, err := t.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if *obsDir != "" {
+		if err := obs.Dump(cfg.Obs, *obsDir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics snapshots written to %s\n", *obsDir)
 	}
 	if *savePath != "" {
 		rounds := len(res.Rounds.Rows)

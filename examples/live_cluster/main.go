@@ -10,6 +10,11 @@
 // the given per-chunk rate) to demonstrate the pipeline degrading
 // gracefully; the resilience counters in the summary show the recovery
 // work performed.
+//
+// -obs-addr serves live metrics (Prometheus text at /metrics, JSON at
+// /metrics.json, spans at /trace.json, pprof under /debug/pprof/) while
+// the run is in flight; -obs-dir periodically dumps the same snapshots
+// to disk.
 package main
 
 import (
@@ -20,11 +25,14 @@ import (
 
 	"stellaris/internal/cache"
 	"stellaris/internal/live"
+	"stellaris/internal/obs"
 )
 
 func main() {
 	var opt live.Options
 	var chaos float64
+	var obsAddr, obsDir string
+	var obsEvery time.Duration
 	flag.StringVar(&opt.CacheAddr, "cache", "", "stellaris-cached address (empty = in-process)")
 	flag.StringVar(&opt.Env, "env", "cartpole", "environment")
 	flag.IntVar(&opt.Actors, "actors", 4, "actor workers")
@@ -38,7 +46,28 @@ func main() {
 	flag.DurationVar(&opt.CacheOpTimeout, "op-timeout", 5*time.Second, "per-operation cache deadline")
 	flag.IntVar(&opt.CacheAttempts, "attempts", 4, "tries per cache operation (transport errors only)")
 	flag.Float64Var(&chaos, "chaos", 0, "fault-injection rate (0 disables; 0.05 = 5% drops/delays per chunk)")
+	flag.StringVar(&obsAddr, "obs-addr", "", "metrics/pprof HTTP address (e.g. :9090; empty disables)")
+	flag.StringVar(&obsDir, "obs-dir", "", "periodically dump metrics.{json,csv,prom} here")
+	flag.DurationVar(&obsEvery, "obs-every", 5*time.Second, "dump interval for -obs-dir")
 	flag.Parse()
+
+	if obsAddr != "" || obsDir != "" {
+		opt.Obs = obs.NewRegistry()
+	}
+	if obsAddr != "" {
+		hs, err := obs.Serve(obsAddr, opt.Obs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer hs.Close()
+		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", hs.Addr())
+	}
+	if obsDir != "" {
+		stop := obs.StartDump(opt.Obs, obsDir, obsEvery, func(err error) {
+			log.Println("obs dump:", err)
+		})
+		defer stop()
+	}
 
 	if chaos > 0 {
 		if opt.CacheAddr == "" {

@@ -24,19 +24,29 @@ func (e ErrNotFound) Error() string { return fmt.Sprintf("cache: key %q not foun
 
 // Cache is the key-value surface shared by the in-process store and the
 // network client.
+//
+// Scoping: values (Put/Get) and counters (Incr) live in separate
+// namespaces that happen to share key strings. Keys and Len see only
+// the *value* namespace — a key touched solely by Incr is invisible to
+// both. Delete spans both namespaces: it removes the value AND any Incr
+// counter stored under key, so a deleted key restarts counting from
+// zero. The TCP server inherits these semantics from MemCache, so
+// client and in-process behavior match.
 type Cache interface {
 	// Put stores val under key, replacing any previous value.
 	Put(key string, val []byte) error
 	// Get returns the value under key or ErrNotFound.
 	Get(key string) ([]byte, error)
-	// Delete removes key (no error if absent).
+	// Delete removes key from both the value and counter namespaces (no
+	// error if absent).
 	Delete(key string) error
 	// Incr atomically increments the counter at key and returns the new
-	// value (missing keys start at zero).
+	// value (missing keys start at zero). Counter keys are not listed
+	// by Keys and not counted by Len.
 	Incr(key string) (int64, error)
-	// Keys returns all keys with the given prefix, sorted.
+	// Keys returns all value keys with the given prefix, sorted.
 	Keys(prefix string) ([]string, error)
-	// Len returns the number of stored keys.
+	// Len returns the number of stored value keys.
 	Len() (int, error)
 }
 
@@ -78,10 +88,13 @@ func (c *MemCache) Get(key string) ([]byte, error) {
 	return cp, nil
 }
 
-// Delete implements Cache.
+// Delete implements Cache. Both the value and any Incr counter under
+// key are removed; leaving the counter alive would resurrect stale
+// counts if the key were ever reused.
 func (c *MemCache) Delete(key string) error {
 	c.mu.Lock()
 	delete(c.data, key)
+	delete(c.counters, key)
 	c.mu.Unlock()
 	return nil
 }

@@ -8,9 +8,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"stellaris/internal/obs"
 	"stellaris/internal/rng"
 )
 
@@ -40,6 +40,11 @@ type DialOptions struct {
 	BackoffMax  time.Duration
 	// Seed drives the jitter RNG so retry schedules are reproducible.
 	Seed uint64
+	// Obs mirrors the client's fault-tolerance events and per-op
+	// latencies into a shared metrics registry (families are aggregated
+	// across every client dialed with the same registry). Nil disables
+	// registry exposition; per-client Stats always work.
+	Obs *obs.Registry
 }
 
 const (
@@ -97,9 +102,18 @@ type Client struct {
 	jitter *rng.RNG
 	closed bool
 
-	retries    atomic.Int64
-	reconnects atomic.Int64
-	timeouts   atomic.Int64
+	// Per-client fault-tolerance counters backing Stats (obs primitives
+	// so the same values can feed exposition).
+	retries    obs.Counter
+	reconnects obs.Counter
+	timeouts   obs.Counter
+	m          *clientMetrics
+}
+
+// clientMetrics is the client's view into a shared obs registry.
+type clientMetrics struct {
+	events    *obs.CounterVec   // cache_client_events_total{event}
+	opSeconds *obs.HistogramVec // cache_client_op_seconds{op}
 }
 
 // Dial connects to a cache server with default DialOptions.
@@ -114,6 +128,12 @@ func DialWith(addr string, opts DialOptions) (*Client, error) {
 		addr:   addr,
 		opts:   opts,
 		jitter: rng.New(opts.Seed ^ 0x5ca1ab1e),
+	}
+	if opts.Obs != nil {
+		c.m = &clientMetrics{
+			events:    opts.Obs.CounterVec("cache_client_events_total", "fault-tolerance events across clients", "event"),
+			opSeconds: opts.Obs.HistogramVec("cache_client_op_seconds", "full round-trip latency (incl. retries) by opcode", obs.LatencyBuckets, "op"),
+		}
 	}
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
@@ -163,9 +183,17 @@ func (c *Client) Close() error {
 // Stats returns the fault-tolerance counters accumulated so far.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Retries:    c.retries.Load(),
-		Reconnects: c.reconnects.Load(),
-		Timeouts:   c.timeouts.Load(),
+		Retries:    c.retries.Value(),
+		Reconnects: c.reconnects.Value(),
+		Timeouts:   c.timeouts.Value(),
+	}
+}
+
+// event bumps one fault-tolerance counter and its registry mirror.
+func (c *Client) event(counter *obs.Counter, name string) {
+	counter.Inc()
+	if c.m != nil {
+		c.m.events.With(name).Inc()
 	}
 }
 
@@ -174,6 +202,13 @@ func (c *Client) Stats() ClientStats {
 // returned to the caller without retrying; only transport failures
 // (dial, write, deadline, short/garbled response) burn attempts.
 func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, error) {
+	var start time.Time
+	if c.m != nil {
+		start = time.Now()
+		defer func() {
+			c.m.opSeconds.With(opName(op)).Observe(time.Since(start).Seconds())
+		}()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error
@@ -182,7 +217,7 @@ func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, err
 			return 0, nil, ErrClientClosed
 		}
 		if attempt > 0 {
-			c.retries.Add(1)
+			c.event(&c.retries, "retry")
 			time.Sleep(c.backoff(attempt))
 		}
 		if c.conn == nil {
@@ -192,7 +227,7 @@ func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, err
 				continue
 			}
 			c.attach(conn)
-			c.reconnects.Add(1)
+			c.event(&c.reconnects, "reconnect")
 		}
 		status, payload, err := c.exchange(op, key, value)
 		if err == nil {
@@ -201,7 +236,7 @@ func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, err
 		lastErr = err
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
-			c.timeouts.Add(1)
+			c.event(&c.timeouts, "timeout")
 		}
 		// Any I/O or framing error leaves the stream in an unknown
 		// state: a retry on the same connection could read the stale

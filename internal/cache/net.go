@@ -9,6 +9,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"stellaris/internal/obs"
 )
 
 // Wire protocol (the Redis stand-in): each message is a length-prefixed
@@ -101,6 +104,62 @@ type Server struct {
 	mu    sync.Mutex
 	done  bool
 	conns map[net.Conn]struct{}
+	m     *serverMetrics
+}
+
+// serverMetrics is the server's view into an obs registry.
+type serverMetrics struct {
+	ops       *obs.CounterVec   // cache_server_ops_total{op}
+	opSeconds *obs.HistogramVec // cache_server_op_seconds{op}
+	bytes     *obs.CounterVec   // cache_server_frame_bytes_total{dir}
+	conns     *obs.Counter      // cache_server_connections_total
+	active    *obs.Gauge        // cache_server_active_connections
+}
+
+// Instrument publishes the server's hot-path metrics (per-op counts and
+// latency histograms, frame bytes in/out, connection churn) into reg.
+// Call before Listen; a nil-instrumented server pays no timing cost.
+func (s *Server) Instrument(reg *obs.Registry) {
+	s.m = &serverMetrics{
+		ops:       reg.CounterVec("cache_server_ops_total", "requests handled by opcode", "op"),
+		opSeconds: reg.HistogramVec("cache_server_op_seconds", "request handling latency by opcode", obs.LatencyBuckets, "op"),
+		bytes:     reg.CounterVec("cache_server_frame_bytes_total", "protocol bytes by direction", "dir"),
+		conns:     reg.Counter("cache_server_connections_total", "connections accepted"),
+		active:    reg.Gauge("cache_server_active_connections", "connections currently open"),
+	}
+}
+
+// opName maps a protocol opcode to its metric label.
+func opName(op byte) string {
+	switch op {
+	case 'P':
+		return "put"
+	case 'G':
+		return "get"
+	case 'D':
+		return "delete"
+	case 'I':
+		return "incr"
+	case 'K':
+		return "keys"
+	case 'L':
+		return "len"
+	default:
+		return "unknown"
+	}
+}
+
+// countingWriter feeds written byte counts into a counter on the way to
+// the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
 }
 
 // NewServer wraps store (nil allocates a fresh MemCache).
@@ -155,17 +214,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 	br := bufio.NewReaderSize(conn, 1<<16)
-	bw := bufio.NewWriterSize(conn, 1<<16)
+	var out io.Writer = conn
+	if s.m != nil {
+		s.m.conns.Inc()
+		s.m.active.Add(1)
+		defer s.m.active.Add(-1)
+		out = countingWriter{w: conn, n: s.m.bytes.With("out")}
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
 	for {
 		f, err := readFrame(br)
 		if err != nil {
 			return
+		}
+		var start time.Time
+		if s.m != nil {
+			// Request frame size: 4-byte length word + 1 op + 4 keyLen +
+			// key + value.
+			s.m.bytes.With("in").Add(int64(9 + len(f.key) + len(f.value)))
+			start = time.Now()
 		}
 		if err := s.handle(bw, f); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
+		}
+		if s.m != nil {
+			op := opName(f.op)
+			s.m.ops.With(op).Inc()
+			s.m.opSeconds.With(op).Observe(time.Since(start).Seconds())
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"stellaris/internal/autoscale"
+	"stellaris/internal/obs"
 	"stellaris/internal/serverless"
 )
 
@@ -132,6 +133,12 @@ type Config struct {
 	// (Table I's "Scalable Actors"); NumActors is the ceiling. Nil
 	// keeps the fleet static.
 	Autoscale autoscale.Controller
+	// Obs receives the run's DES metrics (des_* and serverless_*
+	// families) and per-round trace spans. The registry's clock is
+	// switched to the trainer's virtual clock, so timestamps are virtual
+	// seconds. A Registry should observe exactly one run. Nil disables
+	// instrumentation.
+	Obs *obs.Registry
 }
 
 // Normalize fills defaults and validates; it returns the completed

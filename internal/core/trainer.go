@@ -10,6 +10,7 @@ import (
 	"stellaris/internal/env"
 	"stellaris/internal/istrunc"
 	"stellaris/internal/metrics"
+	"stellaris/internal/obs"
 	"stellaris/internal/profile"
 	"stellaris/internal/replay"
 	"stellaris/internal/rng"
@@ -78,6 +79,9 @@ type Result struct {
 	// FinalWeights is the trained policy+critic weight vector, loadable
 	// via Config.InitWeights or evaluated with Evaluate.
 	FinalWeights []float64
+	// Obs is a final snapshot of Config.Obs taken when the run finished;
+	// nil when no registry was supplied. Timestamps are virtual seconds.
+	Obs *obs.Snapshot
 }
 
 type pendingBatch struct {
@@ -133,6 +137,7 @@ type Trainer struct {
 	rec       *metrics.Recorder
 	hist      *metrics.Histogram
 	breakdown *metrics.Breakdown
+	m         *coreMetrics
 	klTrace   []float64
 	probe     [][]float64
 	prof      *profile.Set
@@ -287,6 +292,14 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	)
 	t.plat.FailureRate = cfg.FailureRate
 
+	if cfg.Obs != nil {
+		// The registry follows the virtual clock for the rest of the run:
+		// snapshot timestamps and trace spans read in virtual seconds.
+		cfg.Obs.SetClock(t.clock.Now)
+		t.m = newCoreMetrics(cfg.Obs)
+		t.plat.Instrument(cfg.Obs)
+	}
+
 	// KL probe states (Fig. 3c) from a short random rollout.
 	if cfg.TrackKL {
 		pr := root.Split(4)
@@ -381,6 +394,9 @@ func (t *Trainer) Run() (*Result, error) {
 	res.Failures = learnerStats.Failures
 	res.Profile = t.prof.Summaries()
 	res.FinalWeights = append([]float64(nil), t.master...)
+	if t.cfg.Obs != nil {
+		res.Obs = t.cfg.Obs.Snapshot()
+	}
 	for _, kind := range t.plat.Kinds() {
 		if kind != "learner" {
 			s := t.plat.PoolStats(kind)
@@ -429,9 +445,9 @@ func (t *Trainer) scheduleActor(id int) {
 	pull := t.lat.TransferTime(8*params, t.timeRng)
 	sample := t.lat.ActorTime(t.cfg.ActorSteps, params, t.timeRng)
 	submit := t.lat.TransferTime(t.trajBytes(traj), t.timeRng)
-	t.breakdown.Add(CompPolicyPull, pull)
-	t.breakdown.Add(CompActorSample, sample)
-	t.breakdown.Add(CompDataLoad, submit)
+	t.observe(CompPolicyPull, pull)
+	t.observe(CompActorSample, sample)
+	t.observe(CompDataLoad, submit)
 	t.prof.For("actor").Observe(pull+sample+submit, t.clock.Now())
 
 	t.plat.InvokeFixed("actor", pull+sample+submit, func(inv serverless.Invocation) {
@@ -601,9 +617,9 @@ func (t *Trainer) dispatchLearner(batch *replay.Batch) {
 	pull := t.lat.TransferTime(8*params, t.timeRng)
 	load := t.lat.TransferTime(8*batch.Len()*len(batch.Obs[0]), t.timeRng)
 	compute := t.lat.GradientTime(params, batch.Len(), t.timeRng)
-	t.breakdown.Add(CompPolicyPull, pull)
-	t.breakdown.Add(CompDataLoad, load)
-	t.breakdown.Add(CompGradCompute, compute)
+	t.observe(CompPolicyPull, pull)
+	t.observe(CompDataLoad, load)
+	t.observe(CompGradCompute, compute)
 
 	// Gradient submission uses the hierarchical data-passing tier
 	// (§V-B) selected once the learner's placement is known: shared
@@ -611,7 +627,7 @@ func (t *Trainer) dispatchLearner(batch *replay.Batch) {
 	// across VMs, or the cache when the hierarchy is disabled.
 	dur := func(inv serverless.Invocation) float64 {
 		submit := t.lat.TierTime(t.submitTier(inv.VM), 8*params, t.timeRng)
-		t.breakdown.Add(CompGradSubmit, submit)
+		t.observe(CompGradSubmit, submit)
 		total := pull + load + compute + submit
 		t.learnerTime += total
 		// Feed the profiler (§VII) and keep the warm pool sized to the
@@ -693,8 +709,8 @@ func (t *Trainer) invokeParameter(group []*stale.Entry) {
 	params := len(t.master)
 	agg := t.lat.AggregateTime(len(group), params, t.timeRng)
 	broadcast := t.lat.TransferTime(8*params, t.timeRng)
-	t.breakdown.Add(CompAggregate, agg)
-	t.breakdown.Add(CompBroadcast, broadcast)
+	t.observe(CompAggregate, agg)
+	t.observe(CompBroadcast, broadcast)
 	t.prof.For("parameter").Observe(agg+broadcast, t.clock.Now())
 	var attempt func()
 	attempt = func() {
@@ -728,6 +744,12 @@ func (t *Trainer) applyUpdate(group []*stale.Entry) {
 	t.opt.Step(t.master, comb.Grad)
 	t.version++
 	t.hist.ObserveAll(comb.Stalenesses)
+	if t.m != nil {
+		for _, s := range comb.Stalenesses {
+			t.m.staleness.Observe(float64(s))
+		}
+		t.m.updates.Inc()
+	}
 	t.roundStaleSum += comb.MeanStaleness
 	t.roundUpdates++
 
@@ -745,6 +767,12 @@ func (t *Trainer) applyUpdate(group []*stale.Entry) {
 	// round's CSV row at the boundary.
 	if t.version%t.cfg.UpdatesPerRound == 0 {
 		now := t.clock.Now()
+		if t.m != nil {
+			// One span per round on the virtual timeline plus its duration
+			// histogram (the Fig. 14 denominator).
+			t.m.roundSeconds.Observe(now - t.roundStart)
+			t.m.tracer.Record("round", t.roundStart, now)
+		}
 		t.rec.Add(metrics.Round{
 			Round:       t.version/t.cfg.UpdatesPerRound - 1,
 			DurationSec: now - t.roundStart,

@@ -1,0 +1,123 @@
+package live
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"stellaris/internal/algo"
+	"stellaris/internal/cache"
+	"stellaris/internal/env"
+	"stellaris/internal/replay"
+	"stellaris/internal/rng"
+)
+
+// actor is one rollout worker. The fetch→stamp→rollout→publish step
+// lives on a struct (rather than inline in the Train goroutine) so the
+// staleness bookkeeping is testable against a plain MemCache.
+type actor struct {
+	id    int
+	opt   Options
+	cli   cache.Cache
+	env   env.Env
+	model *algo.Model
+	rng   *rng.RNG
+
+	// version is the run's global policy version; only the lag metric
+	// reads it. The trajectories themselves are stamped with the version
+	// of the weights actually fetched — NOT this counter, which the
+	// parameter worker may have advanced mid-rollout.
+	version *atomic.Int64
+	state   *runState
+
+	frame       []float64
+	epRet       float64
+	lastW       []float64
+	lastVer     int
+	staleStreak int
+	seq         int
+
+	// onEpisode is called with each finished episode's return.
+	onEpisode func(ret float64)
+}
+
+// iterate runs one actor step: fetch the latest weights (degrading to
+// the stale copy on failure), roll out ActorSteps transitions, and
+// publish the trajectory to the cache. ok reports whether a trajectory
+// landed; a non-nil error is fatal to the run.
+func (a *actor) iterate() (note trajNote, ok bool, err error) {
+	if a.state.m != nil {
+		start := time.Now()
+		defer func() { a.state.m.iter("actor", a.id, time.Since(start)) }()
+	}
+	w, ver, err := getWeights(a.cli)
+	if err != nil {
+		// Transient cache failure or corrupt payload: degrade to the
+		// stale copy instead of aborting the run. The client already
+		// applied its deadline+retry budget, so each fallback is a
+		// bounded wait.
+		a.staleStreak++
+		if a.staleStreak > a.opt.MaxStaleFallbacks {
+			return trajNote{}, false, fmt.Errorf("live: actor %d: weights unavailable after %d fallbacks: %w", a.id, a.staleStreak, err)
+		}
+		a.state.staleReuse()
+		if a.lastW == nil {
+			time.Sleep(10 * time.Millisecond)
+			return trajNote{}, false, nil
+		}
+		// Reuse the stale copy together with its version: the rollout
+		// below runs under that policy, whatever the global counter says.
+		w, ver = a.lastW, a.lastVer
+	} else {
+		a.lastW, a.lastVer = w, ver
+		a.staleStreak = 0
+	}
+	if err := a.model.SetWeights(w); err != nil {
+		return trajNote{}, false, err
+	}
+	if m := a.state.m; m != nil && a.version != nil {
+		if lag := a.version.Load() - int64(ver); lag >= 0 {
+			m.policyLag.Observe(float64(lag))
+		}
+	}
+	if a.frame == nil {
+		a.frame = a.env.Reset(a.rng)
+		a.epRet = 0
+	}
+	// Stamp the version of the weights this rollout actually runs with,
+	// so downstream staleness accounting (BornVersion, Eq. 2-4 decay)
+	// measures real policy lag rather than zero.
+	traj := &replay.Trajectory{ActorID: a.id, PolicyVersion: ver}
+	for i := 0; i < a.opt.ActorSteps; i++ {
+		action, lp, dp := a.model.Act(a.frame, a.rng)
+		next, rew, done := a.env.Step(action)
+		traj.Steps = append(traj.Steps, replay.Step{
+			Obs: a.frame, Action: action, Reward: rew, Done: done,
+			LogProb: lp, DistParams: dp,
+		})
+		a.epRet += rew
+		if done {
+			traj.EpisodeReturns = append(traj.EpisodeReturns, a.epRet)
+			if a.onEpisode != nil {
+				a.onEpisode(a.epRet)
+			}
+			a.epRet = 0
+			a.frame = a.env.Reset(a.rng)
+		} else {
+			a.frame = next
+		}
+	}
+	key := fmt.Sprintf("traj/%d/%d", a.id, a.seq)
+	a.seq++
+	b, err := cache.EncodeTrajectory(traj)
+	if err != nil {
+		return trajNote{}, false, err
+	}
+	if err := a.cli.Put(key, b); err != nil {
+		// Retries exhausted: shed this trajectory and keep sampling —
+		// losing rollouts is recoverable, dying is not.
+		a.state.drop(dropPutFailed)
+		return trajNote{}, false, nil
+	}
+	return trajNote{key: key, steps: len(traj.Steps)}, true, nil
+}

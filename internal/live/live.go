@@ -22,6 +22,7 @@ import (
 	"stellaris/internal/cache"
 	"stellaris/internal/env"
 	"stellaris/internal/istrunc"
+	"stellaris/internal/obs"
 	"stellaris/internal/optim"
 	"stellaris/internal/replay"
 	"stellaris/internal/rng"
@@ -68,6 +69,11 @@ type Options struct {
 	// fetches a worker tolerates (reusing its stale copy) before the
 	// run aborts; default 50.
 	MaxStaleFallbacks int
+	// Obs receives the run's metrics (live_* families, cache client
+	// events, and — for an in-process server — cache_server_*) and
+	// policy-update spans. Families accumulate, so a Registry should
+	// observe exactly one run. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -140,9 +146,15 @@ type Report struct {
 	// StaleWeightReuses counts worker iterations that proceeded on a
 	// previously fetched weight vector because the fetch failed.
 	StaleWeightReuses int64
-	// DroppedPayloads counts trajectories/gradients abandoned after
-	// retry exhaustion or corrupt decode (the shed-load path).
+	// DroppedPayloads counts trajectories/gradients abandoned on any
+	// shed-load path: retry exhaustion, corrupt decode, backpressure,
+	// or a learner with no weights. Options.Obs breaks the same events
+	// down by reason in live_dropped_payloads_total.
 	DroppedPayloads int64
+
+	// Obs is a final snapshot of Options.Obs taken after the pipeline
+	// drained; nil when no registry was supplied.
+	Obs *obs.Snapshot
 }
 
 // trajNote tells the data loader a trajectory landed in the cache.
@@ -167,11 +179,17 @@ func Train(opt Options) (*Report, error) {
 		return nil, err
 	}
 
+	m := newLiveMetrics(opt.Obs)
+	st := &runState{m: m}
+
 	// Cache: external or in-process TCP server.
 	addr := opt.CacheAddr
 	var srv *cache.Server
 	if addr == "" {
 		srv = cache.NewServer(nil)
+		if opt.Obs != nil {
+			srv.Instrument(opt.Obs)
+		}
 		addr, err = srv.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, err
@@ -188,6 +206,7 @@ func Train(opt Options) (*Report, error) {
 			OpTimeout: opt.CacheOpTimeout,
 			Attempts:  opt.CacheAttempts,
 			Seed:      opt.Seed + dialSeq.Add(1),
+			Obs:       opt.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -229,13 +248,11 @@ func Train(opt Options) (*Report, error) {
 	}
 
 	var (
-		stop        atomic.Bool
-		version     atomic.Int64
-		episodes    atomic.Int64
-		staleReuses atomic.Int64
-		dropped     atomic.Int64
-		retMu       sync.Mutex
-		returns     []float64
+		stop     atomic.Bool
+		version  atomic.Int64
+		episodes atomic.Int64
+		retMu    sync.Mutex
+		returns  []float64
 	)
 	trajCh := make(chan trajNote, 4*opt.Actors)
 	batchCh := make(chan []string, 2*opt.Learners)
@@ -255,6 +272,14 @@ func Train(opt Options) (*Report, error) {
 
 	var wg sync.WaitGroup
 
+	if m != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sampleQueues(m, &stop, trajCh, batchCh, gradCh)
+		}()
+	}
+
 	// Actors. RNG streams are split before spawning: the root generator
 	// is not safe for concurrent use.
 	for a := 0; a < opt.Actors; a++ {
@@ -273,88 +298,40 @@ func Train(opt Options) (*Report, error) {
 				fail(err)
 				return
 			}
-			model := algo.NewModelHidden(e, opt.Hidden, opt.Seed)
-			var obs []float64
-			var epRet float64
-			var lastW []float64
-			staleStreak := 0
-			seq := 0
+			act := &actor{
+				id: id, opt: opt, cli: cli, env: e,
+				model:   algo.NewModelHidden(e, opt.Hidden, opt.Seed),
+				rng:     r,
+				version: &version,
+				state:   st,
+				onEpisode: func(ret float64) {
+					episodes.Add(1)
+					retMu.Lock()
+					returns = append(returns, ret)
+					if len(returns) > 256 {
+						returns = returns[len(returns)-256:]
+					}
+					retMu.Unlock()
+				},
+			}
 			for !stop.Load() {
-				w, _, err := getWeights(cli)
-				if err != nil {
-					// Transient cache failure or corrupt payload: degrade
-					// to the stale copy instead of aborting the run. The
-					// client already applied its deadline+retry budget, so
-					// each fallback is a bounded wait.
-					staleStreak++
-					if staleStreak > opt.MaxStaleFallbacks {
-						fail(fmt.Errorf("live: actor %d: weights unavailable after %d fallbacks: %w", id, staleStreak, err))
-						return
-					}
-					staleReuses.Add(1)
-					if lastW == nil {
-						time.Sleep(10 * time.Millisecond)
-						continue
-					}
-					w = lastW
-				} else {
-					lastW = w
-					staleStreak = 0
-				}
-				if err := model.SetWeights(w); err != nil {
-					fail(err)
-					return
-				}
-				if obs == nil {
-					obs = e.Reset(r)
-					epRet = 0
-				}
-				traj := &replay.Trajectory{ActorID: id, PolicyVersion: int(version.Load())}
-				for i := 0; i < opt.ActorSteps; i++ {
-					action, lp, dp := model.Act(obs, r)
-					next, rew, done := e.Step(action)
-					traj.Steps = append(traj.Steps, replay.Step{
-						Obs: obs, Action: action, Reward: rew, Done: done,
-						LogProb: lp, DistParams: dp,
-					})
-					epRet += rew
-					if done {
-						traj.EpisodeReturns = append(traj.EpisodeReturns, epRet)
-						episodes.Add(1)
-						retMu.Lock()
-						returns = append(returns, epRet)
-						if len(returns) > 256 {
-							returns = returns[len(returns)-256:]
-						}
-						retMu.Unlock()
-						epRet = 0
-						obs = e.Reset(r)
-					} else {
-						obs = next
-					}
-				}
-				key := fmt.Sprintf("traj/%d/%d", id, seq)
-				seq++
-				b, err := cache.EncodeTrajectory(traj)
+				note, ok, err := act.iterate()
 				if err != nil {
 					fail(err)
 					return
 				}
-				if err := cli.Put(key, b); err != nil {
-					// Retries exhausted: shed this trajectory and keep
-					// sampling — losing rollouts is recoverable, dying
-					// is not.
-					dropped.Add(1)
+				if !ok {
 					continue
 				}
 				select {
-				case trajCh <- trajNote{key: key, steps: len(traj.Steps)}:
+				case trajCh <- note:
 				default:
-					// Loader backlogged: drop the oldest-style note;
-					// the trajectory stays in the cache but won't be
-					// batched. Sampling throughput exceeding learner
-					// throughput is the overload case — shed load.
-					_ = cli.Delete(key)
+					// Loader backlogged: the trajectory stays in the
+					// cache but won't be batched. Sampling throughput
+					// exceeding learner throughput is the overload case
+					// — shed load, and count it.
+					st.drop(dropBackpressure)
+					_ = cli.Delete(note.key)
 				}
 			}
 		}(a, actorRNG)
@@ -383,7 +360,12 @@ func Train(opt Options) (*Report, error) {
 				case batchCh <- batch:
 				default:
 					// Learners saturated: drop the batch (off-policy
-					// data this stale would be discarded anyway).
+					// data this stale would be discarded anyway). One
+					// drop per trajectory in the batch, so the counter
+					// keeps counting payloads, not batches.
+					for range batch {
+						st.drop(dropBackpressure)
+					}
 				}
 			}
 		}
@@ -413,6 +395,7 @@ func Train(opt Options) (*Report, error) {
 				case <-time.After(10 * time.Millisecond):
 					continue
 				}
+				iterStart := time.Now()
 				w, born, err := getWeights(cli)
 				if err != nil {
 					staleStreak++
@@ -420,11 +403,11 @@ func Train(opt Options) (*Report, error) {
 						fail(fmt.Errorf("live: learner %d: weights unavailable after %d fallbacks: %w", id, staleStreak, err))
 						return
 					}
-					staleReuses.Add(1)
+					st.staleReuse()
 					if lastW == nil {
 						// No weights ever fetched: shed the batch after a
 						// bounded wait rather than compute garbage.
-						dropped.Add(1)
+						st.drop(dropNoWeights)
 						time.Sleep(10 * time.Millisecond)
 						continue
 					}
@@ -446,7 +429,7 @@ func Train(opt Options) (*Report, error) {
 					tr, err := cache.DecodeTrajectory(raw)
 					if err != nil {
 						// Corrupted in transit or storage: skip it.
-						dropped.Add(1)
+						st.drop(dropDecodeFailed)
 						continue
 					}
 					trajs = append(trajs, tr)
@@ -475,9 +458,10 @@ func Train(opt Options) (*Report, error) {
 				if err := cli.Put(gkey, gb); err != nil {
 					// Retries exhausted: shed the gradient; the actors
 					// keep producing and a later batch will land.
-					dropped.Add(1)
+					st.drop(dropPutFailed)
 					continue
 				}
+				m.iter("learner", id, time.Since(iterStart))
 				select {
 				case gradCh <- gradNote{
 					key: gkey, bornVersion: born,
@@ -486,6 +470,7 @@ func Train(opt Options) (*Report, error) {
 				default:
 					// Parameter worker backlogged or stopped: shed the
 					// gradient rather than block shutdown.
+					st.drop(dropBackpressure)
 					_ = cli.Delete(gkey)
 				}
 			}
@@ -514,6 +499,7 @@ func Train(opt Options) (*Report, error) {
 			case <-time.After(10 * time.Millisecond):
 				continue
 			}
+			iterStart := time.Now()
 			raw, err := paramCli.Get(note.key)
 			if err != nil {
 				continue
@@ -522,13 +508,16 @@ func Train(opt Options) (*Report, error) {
 			if err != nil {
 				// Corrupted gradient: discard it, the learners will
 				// produce more.
-				dropped.Add(1)
+				st.drop(dropDecodeFailed)
 				_ = paramCli.Delete(note.key)
 				continue
 			}
 			_ = paramCli.Delete(note.key)
 			tracker.Observe(msg.MeanRatio)
 			v := int(version.Load())
+			if m != nil {
+				m.gradStaleness.Observe(float64(v - msg.BornVersion))
+			}
 			group := agg.Offer(&stale.Entry{
 				LearnerID:   msg.LearnerID,
 				BornVersion: msg.BornVersion,
@@ -539,6 +528,10 @@ func Train(opt Options) (*Report, error) {
 			}, v)
 			if group == nil {
 				continue
+			}
+			var span *obs.SpanHandle
+			if m != nil {
+				span = m.tracer.Start("policy-update")
 			}
 			tracker.ResetGroup()
 			comb := stale.Combine(agg, group, v)
@@ -552,6 +545,15 @@ func Train(opt Options) (*Report, error) {
 			if err := putWeightsPersistent(paramCli, int(nv), weights, &stop); err != nil {
 				fail(err)
 				return
+			}
+			if m != nil {
+				// live_staleness observes the same per-update means that
+				// Report.MeanStaleness averages, so the histogram's exact
+				// mean and the report agree.
+				m.staleness.Observe(comb.MeanStaleness)
+				m.updates.Inc()
+				span.End()
+				m.iter("param", 0, time.Since(iterStart))
 			}
 			if int(nv) >= opt.Updates {
 				stop.Store(true)
@@ -578,8 +580,11 @@ func Train(opt Options) (*Report, error) {
 		CacheRetries:      cst.Retries,
 		CacheReconnects:   cst.Reconnects,
 		CacheTimeouts:     cst.Timeouts,
-		StaleWeightReuses: staleReuses.Load(),
-		DroppedPayloads:   dropped.Load(),
+		StaleWeightReuses: st.staleReuses.Load(),
+		DroppedPayloads:   st.dropped.Load(),
+	}
+	if opt.Obs != nil {
+		rep.Obs = opt.Obs.Snapshot()
 	}
 	if staleN > 0 {
 		rep.MeanStaleness = staleSum / float64(staleN)

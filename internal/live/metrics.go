@@ -1,0 +1,116 @@
+package live
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"stellaris/internal/obs"
+)
+
+// Shed-load drop reasons (the label values of
+// live_dropped_payloads_total). Every branch that abandons a trajectory
+// or gradient must go through runState.drop with one of these so the
+// aggregate Report.DroppedPayloads and the per-reason counters agree.
+const (
+	dropPutFailed    = "put-failed"    // cache Put exhausted its retries
+	dropDecodeFailed = "decode-failed" // payload corrupted in transit/storage
+	dropBackpressure = "backpressure"  // downstream queue full, load shed
+	dropNoWeights    = "no-weights"    // learner had no weights to train with
+)
+
+// liveMetrics is the run's view into an obs registry. A nil *liveMetrics
+// is valid and disables every method, so un-instrumented runs pay only a
+// nil check on the hot paths.
+type liveMetrics struct {
+	iterSeconds   *obs.HistogramVec // live_iteration_seconds{role,worker}
+	queueDepth    *obs.GaugeVec     // live_queue_depth{queue}
+	staleness     *obs.Histogram    // live_staleness
+	gradStaleness *obs.Histogram    // live_gradient_staleness
+	policyLag     *obs.Histogram    // live_actor_policy_lag
+	drops         *obs.CounterVec   // live_dropped_payloads_total{reason}
+	staleReuse    *obs.Counter      // live_stale_weight_reuses_total
+	updates       *obs.Counter      // live_updates_total
+	tracer        *obs.Tracer
+}
+
+func newLiveMetrics(reg *obs.Registry) *liveMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &liveMetrics{
+		iterSeconds: reg.HistogramVec("live_iteration_seconds",
+			"wall time of one worker loop iteration", obs.LatencyBuckets, "role", "worker"),
+		queueDepth: reg.GaugeVec("live_queue_depth",
+			"channel occupancy sampled every 20ms", "queue"),
+		staleness: reg.Histogram("live_staleness",
+			"mean gradient staleness per policy update (versions)", obs.CountBuckets),
+		gradStaleness: reg.Histogram("live_gradient_staleness",
+			"staleness of each aggregated gradient (versions)", obs.CountBuckets),
+		policyLag: reg.Histogram("live_actor_policy_lag",
+			"global version minus the version an actor fetched", obs.CountBuckets),
+		drops: reg.CounterVec("live_dropped_payloads_total",
+			"trajectories/gradients shed, by reason", "reason"),
+		staleReuse: reg.Counter("live_stale_weight_reuses_total",
+			"iterations that reused a stale weight vector after a failed fetch"),
+		updates: reg.Counter("live_updates_total",
+			"policy updates applied"),
+		tracer: reg.Tracer(),
+	}
+	// Pre-create the reason children so every exposition shows all four
+	// counters (zero included) — dashboards can tell "no drops" from
+	// "not instrumented".
+	for _, reason := range []string{dropPutFailed, dropDecodeFailed, dropBackpressure, dropNoWeights} {
+		m.drops.With(reason)
+	}
+	return m
+}
+
+// iter records one worker-loop latency.
+func (m *liveMetrics) iter(role string, worker int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.iterSeconds.With(role, strconv.Itoa(worker)).Observe(d.Seconds())
+}
+
+// runState bundles the counters every worker shares. It exists so the
+// actor/learner shed paths count drops exactly once in both the Report
+// aggregate and the labeled registry family.
+type runState struct {
+	staleReuses atomic.Int64
+	dropped     atomic.Int64
+	m           *liveMetrics
+}
+
+// drop records one shed payload under reason.
+func (s *runState) drop(reason string) {
+	s.dropped.Add(1)
+	if s.m != nil {
+		s.m.drops.With(reason).Inc()
+	}
+}
+
+// staleReuse records one iteration that fell back to stale weights.
+func (s *runState) staleReuse() {
+	s.staleReuses.Add(1)
+	if s.m != nil {
+		s.m.staleReuse.Inc()
+	}
+}
+
+// sampleQueues polls channel occupancy into live_queue_depth until stop.
+func sampleQueues(m *liveMetrics, stop *atomic.Bool,
+	trajCh chan trajNote, batchCh chan []string, gradCh chan gradNote) {
+	traj := m.queueDepth.With("traj")
+	batch := m.queueDepth.With("batch")
+	grad := m.queueDepth.With("grad")
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for !stop.Load() {
+		<-tick.C
+		traj.Set(float64(len(trajCh)))
+		batch.Set(float64(len(batchCh)))
+		grad.Set(float64(len(gradCh)))
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// defaultSpanCapacity bounds the completed-span ring buffer: old spans
+// fall off rather than grow memory without bound on long runs.
+const defaultSpanCapacity = 4096
+
+// Span is one completed traced interval. Times are in the owning
+// registry's clock domain: monotonic wall seconds in live mode,
+// virtual seconds in DES mode.
+type Span struct {
+	Name  string  `json:"name"`
+	Start float64 `json:"start_sec"`
+	End   float64 `json:"end_sec"`
+	// Dur is End-Start, precomputed for consumers.
+	Dur float64 `json:"dur_sec"`
+}
+
+// Tracer records start/end span events into a fixed-capacity ring.
+// Safe for concurrent use.
+type Tracer struct {
+	clock atomic.Value // Clock
+
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	full    bool
+	dropped int64
+}
+
+func newTracer(c Clock, capacity int) *Tracer {
+	t := &Tracer{ring: make([]Span, capacity)}
+	t.clock.Store(c)
+	return t
+}
+
+func (t *Tracer) now() float64 { return t.clock.Load().(Clock)() }
+
+// SpanHandle is an in-flight span returned by Start.
+type SpanHandle struct {
+	t     *Tracer
+	name  string
+	start float64
+}
+
+// Start opens a span at the current clock reading (live mode: call End
+// when the interval completes).
+func (t *Tracer) Start(name string) *SpanHandle {
+	return &SpanHandle{t: t, name: name, start: t.now()}
+}
+
+// End closes the span at the current clock reading and records it,
+// returning the duration in seconds.
+func (s *SpanHandle) End() float64 {
+	end := s.t.now()
+	s.t.Record(s.name, s.start, end)
+	return end - s.start
+}
+
+// Record appends a completed span with explicit timestamps — the DES
+// path, where interval endpoints are virtual-clock readings captured by
+// the simulation rather than bracketing real execution.
+func (t *Tracer) Record(name string, start, end float64) {
+	t.mu.Lock()
+	if t.full {
+		t.dropped++
+	}
+	t.ring[t.next] = Span{Name: name, Start: start, End: end, Dur: end - start}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the retained completed spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.ring[:t.next]...)
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped reports how many spans fell off the ring.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"stellaris/internal/obs"
 	"stellaris/internal/rng"
 	"stellaris/internal/simclock"
 )
@@ -90,6 +91,30 @@ type Platform struct {
 	FailureRate float64
 	r           *rng.RNG
 	pools       map[string]*pool
+	m           *platformMetrics
+}
+
+// platformMetrics is the platform's view into an obs registry. All
+// durations are virtual seconds; the registry's clock should be the
+// platform's simclock so span/sample timestamps line up.
+type platformMetrics struct {
+	invocations *obs.CounterVec   // serverless_invocations_total{kind}
+	coldStarts  *obs.CounterVec   // serverless_cold_starts_total{kind}
+	failures    *obs.CounterVec   // serverless_failures_total{kind}
+	invSeconds  *obs.HistogramVec // serverless_invocation_seconds{kind}
+	queueWait   *obs.HistogramVec // serverless_queue_wait_seconds{kind}
+}
+
+// Instrument publishes per-pool invocation counts, cold starts, injected
+// failures, and virtual-time latency histograms into reg.
+func (p *Platform) Instrument(reg *obs.Registry) {
+	p.m = &platformMetrics{
+		invocations: reg.CounterVec("serverless_invocations_total", "function invocations by pool", "kind"),
+		coldStarts:  reg.CounterVec("serverless_cold_starts_total", "invocations that paid a cold start", "kind"),
+		failures:    reg.CounterVec("serverless_failures_total", "injected invocation crashes", "kind"),
+		invSeconds:  reg.HistogramVec("serverless_invocation_seconds", "startup+execution time (virtual seconds)", obs.VirtualBuckets, "kind"),
+		queueWait:   reg.HistogramVec("serverless_queue_wait_seconds", "slot queueing delay (virtual seconds)", obs.VirtualBuckets, "kind"),
+	}
 }
 
 // NewPlatform builds a platform over clock with the given pools.
@@ -167,6 +192,10 @@ func (p *Platform) start(pl *pool, q queued) {
 	pl.busy++
 	pl.invoked++
 	pl.queueWait += now - q.at
+	if p.m != nil {
+		p.m.invocations.With(pl.cfg.Kind).Inc()
+		p.m.queueWait.With(pl.cfg.Kind).Observe(now - q.at)
+	}
 	vm := pl.pickVM()
 	pl.busyVM[vm]++
 
@@ -187,6 +216,9 @@ func (p *Platform) start(pl *pool, q queued) {
 	} else {
 		startup = p.Lat.ColdStart(p.r)
 		pl.coldHits++
+		if p.m != nil {
+			p.m.coldStarts.With(pl.cfg.Kind).Inc()
+		}
 	}
 
 	inv := Invocation{
@@ -218,6 +250,12 @@ func (p *Platform) start(pl *pool, q queued) {
 		}
 		if inv.Failed {
 			pl.failures++
+			if p.m != nil {
+				p.m.failures.With(pl.cfg.Kind).Inc()
+			}
+		}
+		if p.m != nil {
+			p.m.invSeconds.With(pl.cfg.Kind).Observe(startup + duration)
 		}
 		q.body(inv)
 		// Admit queued work freed by this slot.
