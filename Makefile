@@ -5,8 +5,9 @@ GO ?= go
 COVERPROFILE ?= coverage.out
 BENCHTIME ?= 100ms
 BENCHPKGS ?= . ./internal/nn ./internal/cache
+FUZZTIME ?= 5s
 
-.PHONY: build test race cover fmt vet bench ci
+.PHONY: build test race cover fmt vet lint bench fuzz-short ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +31,21 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Project-specific invariant analyzer (stdlib-only, see DESIGN.md
+# "Invariants"): wall-clock reads in DES packages, mixed atomic/plain
+# field access, blocking calls under a mutex, global math/rand, and
+# silently dropped cache errors. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/stellaris-lint ./...
+
+# Short live fuzz of the cache wire codec and framing. The checked-in
+# corpus under internal/cache/testdata/fuzz replays on every plain
+# `go test`; this target additionally explores new inputs for
+# FUZZTIME per fuzz target (go's -fuzz accepts one target at a time).
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/cache
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/cache
+
 # Quick benchmark sweep over the hot-path packages. BENCH_live.txt is
 # benchstat-compatible; BENCH_live.json is the same results as JSON (via
 # cmd/bench2json). Raise BENCHTIME for stabler numbers.
@@ -37,4 +53,4 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) $(BENCHPKGS) | tee BENCH_live.txt
 	$(GO) run ./cmd/bench2json -o BENCH_live.json < BENCH_live.txt
 
-ci: build fmt vet race cover
+ci: build fmt vet lint race cover

@@ -1,0 +1,94 @@
+// Command stellaris-lint runs the repo's invariant analyzer
+// (internal/lint) over the module and exits non-zero on any finding.
+// It is the `make lint` CI gate, sitting between go vet and the race
+// detector: vet catches what the Go team considers universally wrong,
+// stellaris-lint catches what is wrong *for this codebase* — wall
+// clocks in DES code, mixed atomic/plain field access, blocking under
+// a mutex, global randomness, and silently dropped cache errors.
+//
+// Usage:
+//
+//	stellaris-lint ./...          # whole module (the CI invocation)
+//	stellaris-lint internal/live  # one package directory
+//	stellaris-lint -checks        # list checks and exit
+//
+// Findings print one per line as file:line:col: [check] message.
+// Intentional sites are suppressed in source with
+// `//lint:allow <check> <reason>` (same line or the line above).
+//
+// Exit status: 0 clean, 1 findings, 2 the analyzer itself failed
+// (unparseable tree, type errors).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stellaris/internal/lint"
+)
+
+func main() {
+	listChecks := flag.Bool("checks", false, "list registered checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stellaris-lint [-checks] [./... | pkg-dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listChecks {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-10s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	var pkgs []*lint.Package
+	if len(args) == 0 || (len(args) == 1 && args[0] == "./...") {
+		pkgs, err = loader.LoadAll()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, arg := range args {
+			p, err := loader.LoadDir(arg)
+			if err != nil {
+				fatal(err)
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+
+	// Type errors don't stop the checks, but a tree that does not
+	// type-check cannot be trusted to pass the gate either.
+	typeErrs := loader.Errors()
+	for _, e := range typeErrs {
+		fmt.Fprintln(os.Stderr, "stellaris-lint: type error:", e)
+	}
+
+	findings := lint.Analyze(pkgs, lint.Checks())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	switch {
+	case len(typeErrs) > 0:
+		os.Exit(2)
+	case len(findings) > 0:
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stellaris-lint:", err)
+	os.Exit(2)
+}

@@ -209,42 +209,62 @@ func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, err
 			c.m.opSeconds.With(opName(op)).Observe(time.Since(start).Seconds())
 		}()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
-		if c.closed {
-			return 0, nil, ErrClientClosed
-		}
 		if attempt > 0 {
 			c.event(&c.retries, "retry")
-			time.Sleep(c.backoff(attempt))
+			// Sleep with the mutex released: holding it through the
+			// backoff schedule would stall every concurrent operation —
+			// and Close — behind this op's outage. Only the jitter RNG
+			// needs the lock.
+			c.mu.Lock()
+			d := c.backoff(attempt)
+			c.mu.Unlock()
+			time.Sleep(d)
 		}
-		if c.conn == nil {
-			conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			c.attach(conn)
-			c.event(&c.reconnects, "reconnect")
-		}
-		status, payload, err := c.exchange(op, key, value)
+		status, payload, err := c.attemptLocked(op, key, value)
 		if err == nil {
 			return status, payload, nil
 		}
-		lastErr = err
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			c.event(&c.timeouts, "timeout")
+		if errors.Is(err, ErrClientClosed) {
+			return 0, nil, err
 		}
-		// Any I/O or framing error leaves the stream in an unknown
-		// state: a retry on the same connection could read the stale
-		// reply of the failed request. Poison it.
-		c.dropConn()
+		lastErr = err
 	}
 	return 0, nil, fmt.Errorf("cache: op %q key %q failed after %d attempts: %w",
 		op, key, c.opts.Attempts, lastErr)
+}
+
+// attemptLocked performs a single reconnect-if-needed + exchange under
+// the client mutex, so each attempt is one atomic request/response on
+// the shared connection while backoff waits happen unlocked.
+func (c *Client) attemptLocked(op byte, key string, value []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClientClosed
+	}
+	if c.conn == nil {
+		conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		if err != nil {
+			return 0, nil, err
+		}
+		c.attach(conn)
+		c.event(&c.reconnects, "reconnect")
+	}
+	status, payload, err := c.exchange(op, key, value)
+	if err == nil {
+		return status, payload, nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.event(&c.timeouts, "timeout")
+	}
+	// Any I/O or framing error leaves the stream in an unknown state: a
+	// retry on the same connection could read the stale reply of the
+	// failed request. Poison it.
+	c.dropConn()
+	return 0, nil, err
 }
 
 // exchange writes one frame and reads one response on the live

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowSet records //lint:allow directives by (file, line).
+type allowSet struct {
+	byLine map[allowKey][]string // check names allowed at that line
+}
+
+type allowKey struct {
+	file string
+	line int
+}
+
+// suppressed reports whether f is covered by a directive on its own
+// line or the line directly above it.
+func (a allowSet) suppressed(f Finding) bool {
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, name := range a.byLine[allowKey{f.Pos.Filename, line}] {
+			if name == f.Check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectAllows parses every //lint:allow directive in p. Malformed
+// directives (missing reason, unknown check name) are returned as
+// findings so a typo cannot silently disable suppression — or worse,
+// silently fail to.
+func collectAllows(p *Package, valid map[string]bool) (allowSet, []Finding) {
+	set := allowSet{byLine: make(map[allowKey][]string)}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				switch {
+				case len(fields) < 2:
+					bad = append(bad, Finding{
+						Pos:     pos,
+						Check:   "allow",
+						Message: `malformed directive: want "//lint:allow <check> <reason>"`,
+					})
+				case !valid[fields[0]]:
+					bad = append(bad, Finding{
+						Pos:     pos,
+						Check:   "allow",
+						Message: "directive names unknown check " + strings.Trim(fields[0], `"`),
+					})
+				default:
+					k := allowKey{pos.Filename, pos.Line}
+					set.byLine[k] = append(set.byLine[k], fields[0])
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// position is a small helper for checks: the Position of pos in p.
+func (p *Package) position(pos token.Pos) token.Position {
+	return p.Fset.Position(pos)
+}

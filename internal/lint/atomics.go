@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The atomics check enforces all-or-nothing atomicity: once any code in
+// a package reaches a variable or struct field through sync/atomic
+// (atomic.AddInt64(&s.n, 1), atomic.LoadInt64(&total), ...), every
+// other access to that same object must also be atomic. A plain read
+// "works" in the race-free interleavings the tests happen to exercise
+// and corrupts counters in production — exactly the class of silent
+// bookkeeping error behind the PR 2 staleness-accounting bug.
+//
+// Fields declared with the typed atomic.Int64/Bool/... API cannot be
+// accessed plainly (the compiler enforces it), so the check targets the
+// address-passing style where the type system cannot help.
+func atomicsCheck() Check {
+	return Check{
+		Name: "atomics",
+		Doc:  "a field/var accessed via sync/atomic must never be read or written plainly in the same package",
+		Run:  runAtomics,
+	}
+}
+
+func runAtomics(p *Package) []Finding {
+	// Pass 1: collect objects whose address feeds a sync/atomic call,
+	// and the positions of those sanctioned uses.
+	atomicObjs := make(map[types.Object]token.Pos) // object -> first atomic use (for the message)
+	sanctioned := make(map[token.Pos]bool)         // ident positions inside atomic call args
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if funcPkgPath(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj, pos := addressedObject(p, un.X)
+				if obj == nil {
+					continue
+				}
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = pos
+				}
+				sanctioned[pos] = true
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other use of those objects must be sanctioned.
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, tracked := atomicObjs[obj]; !tracked || sanctioned[id.Pos()] {
+				return true
+			}
+			first := p.position(atomicObjs[obj])
+			out = append(out, Finding{
+				Pos:   p.position(id.Pos()),
+				Check: "atomics",
+				Message: fmt.Sprintf("%s is accessed with sync/atomic (first at %s:%d); plain access races with it — use atomic.Load/Store",
+					obj.Name(), first.Filename, first.Line),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// addressedObject resolves &expr's operand to the variable or field
+// object it denotes, plus the position of the identifier naming it.
+func addressedObject(p *Package, e ast.Expr) (types.Object, token.Pos) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok {
+			return v, x.Pos()
+		}
+	case *ast.SelectorExpr:
+		if s := p.Info.Selections[x]; s != nil {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v, x.Sel.Pos()
+			}
+		}
+	}
+	return nil, token.NoPos
+}

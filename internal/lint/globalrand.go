@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The globalrand check forbids the process-global math/rand generator
+// in non-test code. Every random stream in the repo must flow from a
+// run's Seed through internal/rng (or an explicit rand.New(NewSource))
+// so runs replay bit-for-bit; a single rand.Float64() call breaks that
+// determinism invisibly. Constructors that wrap an explicit seeded
+// source are fine — it is only the shared top-level generator that is
+// banned. _test.go files are exempt (the loader never reads them).
+func globalrandCheck() Check {
+	return Check{
+		Name: "globalrand",
+		Doc:  "forbid top-level math/rand functions outside tests (use the seeded internal/rng streams)",
+		Run:  runGlobalrand,
+	}
+}
+
+// globalrandExempt are math/rand package functions that do not touch
+// the global generator.
+var globalrandExempt = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runGlobalrand(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true // a type like rand.Rand, not a function
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method on a seeded *rand.Rand instance
+			}
+			if globalrandExempt[fn.Name()] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.position(sel.Pos()),
+				Check: "globalrand",
+				Message: "rand." + fn.Name() + " uses the process-global generator and breaks seeded " +
+					"reproducibility; draw from the run's rng.RNG stream instead",
+			})
+			return true
+		})
+	}
+	return out
+}

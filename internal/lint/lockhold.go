@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The lockhold check forbids operations that can block indefinitely —
+// channel sends/receives, selects, blocking cache.Client round trips,
+// and time.Sleep — lexically between mu.Lock() and mu.Unlock() in the
+// same function body. A goroutine parked on a channel while holding a
+// mutex is how the PR 1 hang happened: live.Train's workers died with
+// state still locked and the pipeline waited forever. The analysis is
+// lexical (per statement list, branches analyzed independently), which
+// is exactly the invariant the repo's code actually maintains: critical
+// sections are short, straight-line, and never do I/O.
+func lockholdCheck() Check {
+	return Check{
+		Name: "lockhold",
+		Doc:  "no channel ops, blocking cache.Client calls, or sleeps while a sync.Mutex is held",
+		Run:  runLockhold,
+	}
+}
+
+func runLockhold(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				lh := &lockholder{p: p}
+				lh.stmts(body.List, map[string]token.Pos{})
+				out = append(out, lh.findings...)
+			}
+			// Nested function literals are visited as their own bodies;
+			// keep walking.
+			return true
+		})
+	}
+	return out
+}
+
+type lockholder struct {
+	p        *Package
+	findings []Finding
+}
+
+// stmts scans one statement list with the set of locks lexically held
+// on entry. Branch bodies get copies: a lock released on one path stays
+// held on the fallthrough path (the serveConn early-return pattern).
+func (lh *lockholder) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range list {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if key, method, ok := lh.mutexCall(s.X); ok {
+				switch method {
+				case "Lock", "RLock":
+					held[key] = s.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				continue
+			}
+			lh.inspect(s, held)
+		case *ast.DeferStmt:
+			// A deferred Unlock means the lock is held for the rest of
+			// the body — which the sequential scan already models by
+			// never seeing a releasing statement. Other deferred calls
+			// run after the region, so skip them either way.
+		case *ast.GoStmt:
+			// The spawned goroutine does not hold the caller's locks.
+		case *ast.BlockStmt:
+			lh.stmts(s.List, copyHeld(held))
+		case *ast.IfStmt:
+			if s.Init != nil {
+				lh.inspect(s.Init, held)
+			}
+			lh.inspectExpr(s.Cond, held)
+			lh.stmts(s.Body.List, copyHeld(held))
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				lh.stmts(e.List, copyHeld(held))
+			case *ast.IfStmt:
+				lh.stmts([]ast.Stmt{e}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				lh.inspect(s.Init, held)
+			}
+			if s.Cond != nil {
+				lh.inspectExpr(s.Cond, held)
+			}
+			if s.Post != nil {
+				lh.inspect(s.Post, held)
+			}
+			lh.stmts(s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				if t, ok := lh.p.Info.Types[s.X]; ok {
+					if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+						lh.report(s.Pos(), "range over channel", held)
+					}
+				}
+			}
+			lh.inspectExpr(s.X, held)
+			lh.stmts(s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				lh.inspect(s.Init, held)
+			}
+			if s.Tag != nil {
+				lh.inspectExpr(s.Tag, held)
+			}
+			for _, cc := range s.Body.List {
+				if clause, ok := cc.(*ast.CaseClause); ok {
+					lh.stmts(clause.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cc := range s.Body.List {
+				if clause, ok := cc.(*ast.CaseClause); ok {
+					lh.stmts(clause.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			if len(held) > 0 {
+				lh.report(s.Pos(), "select (channel operations)", held)
+			}
+		case *ast.LabeledStmt:
+			lh.stmts([]ast.Stmt{s.Stmt}, held)
+		default:
+			lh.inspect(st, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	cp := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+// inspect flags blocking operations anywhere inside node (function
+// literals excluded — they execute later, not under this lock).
+func (lh *lockholder) inspect(node ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			lh.report(x.Pos(), "channel send", held)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				lh.report(x.Pos(), "channel receive", held)
+			}
+		case *ast.SelectStmt:
+			lh.report(x.Pos(), "select (channel operations)", held)
+			return false
+		case *ast.CallExpr:
+			if desc, ok := lh.blockingCall(x); ok {
+				lh.report(x.Pos(), desc, held)
+			}
+		}
+		return true
+	})
+}
+
+func (lh *lockholder) inspectExpr(e ast.Expr, held map[string]token.Pos) {
+	if e != nil {
+		lh.inspect(e, held)
+	}
+}
+
+func (lh *lockholder) report(pos token.Pos, what string, held map[string]token.Pos) {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lh.findings = append(lh.findings, Finding{
+		Pos:   lh.p.position(pos),
+		Check: "lockhold",
+		Message: fmt.Sprintf("%s while holding %s: blocking inside a critical section can wedge every other waiter",
+			what, strings.Join(keys, ", ")),
+	})
+}
+
+// mutexCall matches expr against X.Lock/Unlock/RLock/RUnlock() where
+// the method belongs to sync (Mutex or RWMutex, embedded included) and
+// returns the lexical key for X.
+func (lh *lockholder) mutexCall(expr ast.Expr) (key, method string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := lh.p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || funcPkgPath(fn) != "sync" {
+		return "", "", false
+	}
+	return exprString(lh.p, sel.X), name, true
+}
+
+// blockingCall reports whether call is an operation that can block for
+// an unbounded or externally controlled time: a cache.Cache /
+// cache.Client data op (a network round trip with retries and
+// backoff), a cache dial, or time.Sleep. MemCache is exempt — its ops
+// are short in-memory critical sections.
+func (lh *lockholder) blockingCall(call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(lh.p, call)
+	if fn == nil {
+		return "", false
+	}
+	path := funcPkgPath(fn)
+	if path == "time" && fn.Name() == "Sleep" {
+		return "time.Sleep", true
+	}
+	if !isCachePkg(path) {
+		return "", false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		if fn.Name() == "Dial" || fn.Name() == "DialWith" {
+			return "cache." + fn.Name() + " (network dial)", true
+		}
+		return "", false
+	}
+	switch fn.Name() {
+	case "Put", "Get", "Delete", "Incr", "Keys", "Len":
+	default:
+		return "", false
+	}
+	named := recvNamed(lh.p, call)
+	if named != nil && named.Obj().Name() == "MemCache" {
+		return "", false
+	}
+	recv := "cache.Client"
+	if named != nil {
+		recv = named.Obj().Name()
+	}
+	return fmt.Sprintf("blocking %s.%s call", recv, fn.Name()), true
+}

@@ -1,0 +1,11 @@
+// Package allowbad is a lint fixture for directive validation: an
+// allow without a reason and an allow naming an unknown check must each
+// be reported, so a typo cannot silently disable (or fail to apply)
+// suppression.
+package allowbad
+
+func f() {
+	//lint:allow wallclock
+	//lint:allow nosuchcheck some reason
+	_ = f
+}

@@ -1,0 +1,30 @@
+// Package atomics is a lint fixture: fields and vars whose address
+// feeds sync/atomic must never be touched plainly anywhere else in the
+// package.
+package atomics
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64 // never accessed atomically: plain access is fine
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) load() int64 { return atomic.LoadInt64(&c.n) } // fine: atomic read
+
+func (c *counter) bad() int64 { return c.n } // want "n is accessed with sync/atomic"
+
+func (c *counter) badWrite() { c.n = 0 } // want "n is accessed with sync/atomic"
+
+func (c *counter) plainField() int64 { return c.hits } // fine: hits is not atomic
+
+var total int64
+
+func addTotal()        { atomic.AddInt64(&total, 1) }
+func readTotal() int64 { return total } // want "total is accessed with sync/atomic"
+
+func exempted(c *counter) int64 {
+	return c.n //lint:allow atomics single-threaded teardown snapshot
+}

@@ -1,0 +1,26 @@
+// Package globalrand is a lint fixture: top-level math/rand functions
+// are banned in non-test code (the sibling _test.go file uses them
+// freely and must produce no findings — the loader skips test files).
+package globalrand
+
+import "math/rand"
+
+func bad() float64 { return rand.Float64() } // want "rand.Float64 uses the process-global generator"
+
+func alsoBad(n int) int { return rand.Intn(n) } // want "rand.Intn uses the process-global generator"
+
+func shuffleBad(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle uses the process-global generator"
+}
+
+func seededIsFine() *rand.Rand {
+	r := rand.New(rand.NewSource(17)) // fine: explicit seeded source
+	_ = r.Float64()                   // fine: method on the seeded instance
+	return r
+}
+
+func typeRefIsFine(r *rand.Rand) rand.Source { return rand.NewSource(3) }
+
+func exempted() int {
+	return rand.Int() //lint:allow globalrand demo of the suppression path
+}

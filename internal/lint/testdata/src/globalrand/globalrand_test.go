@@ -1,0 +1,7 @@
+// Test files are exempt from every check: the loader never parses
+// them, so nothing here may show up in the golden expectations.
+package globalrand
+
+import "math/rand"
+
+func helperUsingGlobalRand() int { return rand.Intn(10) } // no want: tests may use global rand

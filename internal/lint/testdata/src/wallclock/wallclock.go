@@ -1,0 +1,46 @@
+// Package wallclock is a lint fixture: it imports simclock, which
+// marks it DES-clocked, so every wall-clock read below must be
+// reported. Golden expectations are the quoted fragments in the
+// trailing annotation comments.
+package wallclock
+
+import (
+	"time"
+
+	"stellaris/internal/simclock"
+)
+
+// clock marks this package as a simclock consumer.
+var clock = simclock.New()
+
+func virtualNow() float64 { return clock.Now() } // fine: the injected clock
+
+func bad() {
+	t := time.Now()                   // want "time.Now reads the wall clock"
+	_ = time.Since(t)                 // want "time.Since reads the wall clock"
+	time.Sleep(time.Millisecond)      // want "time.Sleep reads the wall clock"
+	_ = time.NewTimer(time.Second)    // want "time.NewTimer reads the wall clock"
+	tick := time.NewTicker(time.Hour) // want "time.NewTicker reads the wall clock"
+	tick.Stop()
+	_ = time.Until(t.Add(time.Minute)) // want "time.Until reads the wall clock"
+}
+
+func indirect() {
+	// Referencing the function without calling it is just as
+	// non-deterministic once invoked.
+	f := time.Now // want "time.Now reads the wall clock"
+	_ = f
+}
+
+func constantsAreFine() time.Duration {
+	// Durations and formatting helpers don't read the clock.
+	d := 3 * time.Second
+	_ = time.Duration(5)
+	return d
+}
+
+func exempted() {
+	// The process-epoch offset is exposition-only and deliberately wall.
+	epoch := time.Now() //lint:allow wallclock exposition-only process epoch
+	_ = epoch
+}

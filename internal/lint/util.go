@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the function or method
+// object it invokes, or nil for indirect calls (function values,
+// conversions, builtins).
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring f, or ""
+// for builtins.
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isCachePkg reports whether path is the repo's cache package. Matching
+// by suffix keeps the checks working on testdata fixtures and under a
+// renamed module.
+func isCachePkg(path string) bool {
+	return strings.HasSuffix(path, "internal/cache")
+}
+
+// recvNamed returns the named type of a method call's static receiver
+// (pointers dereferenced), or nil.
+func recvNamed(p *Package, call *ast.CallExpr) *types.Named {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s := p.Info.Selections[sel]
+	if s == nil {
+		return nil
+	}
+	t := s.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// exprString renders an expression compactly ("c.mu").
+func exprString(p *Package, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// errorReturning reports whether f's last result is error.
+func errorReturning(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// importsPath reports whether p directly imports the given path.
+func importsPath(p *Package, path string) bool {
+	if p.Types == nil {
+		return false
+	}
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() == path {
+			return true
+		}
+	}
+	return false
+}
