@@ -7,7 +7,7 @@ BENCHTIME ?= 100ms
 BENCHPKGS ?= . ./internal/nn ./internal/cache
 FUZZTIME ?= 5s
 
-.PHONY: build test race cover fmt vet lint bench fuzz-short ci
+.PHONY: build test race cover fmt vet lint bench fuzz-short chaos ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,16 @@ vet:
 # silently dropped cache errors. Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/stellaris-lint ./...
+
+# Crash-recovery suite under the race detector, WITHOUT -short so the
+# heavy drills run too: checkpoint/resume determinism, supervised-worker
+# restarts, durable-cache snapshot+AOF replay, scripted cache
+# kill/restart schedules, and the learner-panic + server-bounce chaos
+# test (see DESIGN.md "Crash recovery").
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Resume|Supervisor|Lockstep|Recovery|Persist|FaultProxy|FrameParser|Checkpoint|WriteDir|LoadLatest|SaveLoad|Fingerprint|Decode' \
+		./internal/live ./internal/cache ./internal/ckpt
 
 # Short live fuzz of the cache wire codec and framing. The checked-in
 # corpus under internal/cache/testdata/fuzz replays on every plain

@@ -7,6 +7,12 @@
 //
 //	stellaris-cached -addr :6380
 //
+// With -persist the keyspace is journaled to disk (snapshot + append-only
+// op log) and recovered on restart, so a crashed or bounced cache server
+// comes back with its values and counters intact:
+//
+//	stellaris-cached -addr :6380 -persist /var/lib/stellaris/cache
+//
 // For resilience drills the server can also expose a chaos endpoint: a
 // fault-injecting proxy in front of the real listener that drops,
 // delays, corrupts and severs traffic at the given per-chunk rates.
@@ -28,6 +34,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6380", "listen address")
+	persistDir := flag.String("persist", "", "durability directory (snapshot + op log; empty keeps the store in-memory)")
 	obsAddr := flag.String("obs-addr", "", "metrics/pprof HTTP address (e.g. :9090; empty disables)")
 	faultAddr := flag.String("fault-addr", "127.0.0.1:6381", "chaos proxy listen address (used when any -fault-* rate > 0)")
 	faultDrop := flag.Float64("fault-drop", 0, "chaos proxy: per-chunk drop probability")
@@ -38,10 +45,23 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 1, "chaos proxy: fault RNG seed")
 	flag.Parse()
 
-	srv := cache.NewServer(nil)
+	var store *cache.MemCache
+	if *persistDir != "" {
+		var err error
+		store, err = cache.NewPersistentMemCache(*persistDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stellaris-cached: persist:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("persisting keyspace to %s\n", *persistDir)
+	}
+	srv := cache.NewServer(store)
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
 		srv.Instrument(reg)
+		if store != nil {
+			store.InstrumentPersistence(reg)
+		}
 		hs, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stellaris-cached: obs:", err)
@@ -89,5 +109,11 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "stellaris-cached: close:", err)
 		os.Exit(1)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "stellaris-cached: persist close:", err)
+			os.Exit(1)
+		}
 	}
 }

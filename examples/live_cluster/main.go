@@ -5,6 +5,13 @@
 // -cache at a running `stellaris-cached` instance to span processes, or
 // leave it empty to self-host the cache in-process.
 //
+// -checkpoint-dir makes the run crash-safe: training state (weights,
+// optimizer moments, version counter, staleness thresholds) persists
+// every -checkpoint-every updates with atomic renames, plus a mirrored
+// copy in the cache; -resume picks up the newest checkpoint after a
+// kill. -lockstep trades concurrency for a deterministic schedule whose
+// resumed runs are bit-identical to uninterrupted ones.
+//
 // The -chaos flag routes all cache traffic through an in-process
 // fault-injecting proxy (drops, delays, corruption, connection closes at
 // the given per-chunk rate) to demonstrate the pipeline degrading
@@ -45,6 +52,12 @@ func main() {
 	flag.Uint64Var(&opt.Seed, "seed", 1, "seed")
 	flag.DurationVar(&opt.CacheOpTimeout, "op-timeout", 5*time.Second, "per-operation cache deadline")
 	flag.IntVar(&opt.CacheAttempts, "attempts", 4, "tries per cache operation (transport errors only)")
+	flag.StringVar(&opt.CheckpointDir, "checkpoint-dir", "", "persist crash-safe checkpoints here (empty disables)")
+	flag.IntVar(&opt.CheckpointEvery, "checkpoint-every", 0, "updates between checkpoints (0 = once per staleness round)")
+	flag.BoolVar(&opt.Resume, "resume", false, "resume from the newest checkpoint (directory, then cache mirror)")
+	flag.BoolVar(&opt.Lockstep, "lockstep", false, "deterministic single-threaded schedule (bit-identical resume)")
+	flag.IntVar(&opt.RestartBudget, "restart-budget", 8, "worker restarts allowed before the run fails")
+	flag.Float64Var(&opt.ChaosPanicRate, "chaos-panic", 0, "probability a learner iteration panics (supervision drill)")
 	flag.Float64Var(&chaos, "chaos", 0, "fault-injection rate (0 disables; 0.05 = 5% drops/delays per chunk)")
 	flag.StringVar(&obsAddr, "obs-addr", "", "metrics/pprof HTTP address (e.g. :9090; empty disables)")
 	flag.StringVar(&obsDir, "obs-dir", "", "periodically dump metrics.{json,csv,prom} here")
@@ -116,4 +129,11 @@ func main() {
 	fmt.Printf("resilience: %d retries, %d reconnects, %d timeouts, %d stale-weight reuses, %d shed payloads\n",
 		rep.CacheRetries, rep.CacheReconnects, rep.CacheTimeouts,
 		rep.StaleWeightReuses, rep.DroppedPayloads)
+	if rep.Resumed {
+		fmt.Printf("resumed from checkpoint at version %d\n", rep.ResumedFromVersion)
+	}
+	if rep.ActorRestarts+rep.LearnerRestarts+rep.CheckpointsWritten > 0 {
+		fmt.Printf("crash recovery: %d actor restarts, %d learner restarts, %d checkpoints written\n",
+			rep.ActorRestarts, rep.LearnerRestarts, rep.CheckpointsWritten)
+	}
 }

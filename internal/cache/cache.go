@@ -50,11 +50,14 @@ type Cache interface {
 	Len() (int, error)
 }
 
-// MemCache is an in-process Cache safe for concurrent use.
+// MemCache is an in-process Cache safe for concurrent use. A MemCache
+// opened with NewPersistentMemCache additionally journals every mutation
+// to disk (see persist.go); the zero-dir form is purely in-memory.
 type MemCache struct {
 	mu       sync.RWMutex
 	data     map[string][]byte
 	counters map[string]int64
+	p        *persister
 }
 
 // NewMemCache returns an empty in-process cache.
@@ -65,14 +68,17 @@ func NewMemCache() *MemCache {
 	}
 }
 
-// Put implements Cache.
+// Put implements Cache. With persistence enabled the append error (if
+// any) is returned after the in-memory write: memory stays the source of
+// truth for this process, but the caller learns durability was lost.
 func (c *MemCache) Put(key string, val []byte) error {
 	cp := make([]byte, len(val))
 	copy(cp, val)
 	c.mu.Lock()
 	c.data[key] = cp
+	err := c.logLocked(aofPut, key, cp)
 	c.mu.Unlock()
-	return nil
+	return err
 }
 
 // Get implements Cache.
@@ -95,8 +101,9 @@ func (c *MemCache) Delete(key string) error {
 	c.mu.Lock()
 	delete(c.data, key)
 	delete(c.counters, key)
+	err := c.logLocked(aofDelete, key, nil)
 	c.mu.Unlock()
-	return nil
+	return err
 }
 
 // Incr implements Cache.
@@ -104,8 +111,9 @@ func (c *MemCache) Incr(key string) (int64, error) {
 	c.mu.Lock()
 	c.counters[key]++
 	v := c.counters[key]
+	err := c.logLocked(aofIncr, key, nil)
 	c.mu.Unlock()
-	return v, nil
+	return v, err
 }
 
 // Keys implements Cache.

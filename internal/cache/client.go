@@ -222,7 +222,7 @@ func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, err
 			c.mu.Unlock()
 			time.Sleep(d)
 		}
-		status, payload, err := c.attemptLocked(op, key, value)
+		status, payload, err := c.attempt(op, key, value)
 		if err == nil {
 			return status, payload, nil
 		}
@@ -235,22 +235,53 @@ func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, err
 		op, key, c.opts.Attempts, lastErr)
 }
 
-// attemptLocked performs a single reconnect-if-needed + exchange under
-// the client mutex, so each attempt is one atomic request/response on
-// the shared connection while backoff waits happen unlocked.
-func (c *Client) attemptLocked(op byte, key string, value []byte) (byte, []byte, error) {
+// attempt performs a single reconnect-if-needed + exchange. The TCP
+// dial happens with the mutex RELEASED: holding it through DialTimeout
+// against an unresponsive server would wedge every concurrent operation
+// — and Close — for up to the full dial timeout. Only the exchange
+// itself (one atomic request/response on the shared connection) runs
+// under the lock.
+func (c *Client) attempt(op byte, key string, value []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, ErrClientClosed
+	}
+	needDial := c.conn == nil
+	c.mu.Unlock()
+
+	if needDial {
+		conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+		if err != nil {
+			return 0, nil, err
+		}
+		c.mu.Lock()
+		switch {
+		case c.closed:
+			c.mu.Unlock()
+			_ = conn.Close()
+			return 0, nil, ErrClientClosed
+		case c.conn == nil:
+			c.attach(conn)
+			c.event(&c.reconnects, "reconnect")
+			c.mu.Unlock()
+		default:
+			// A concurrent operation reconnected while we dialed; keep
+			// the installed connection and discard ours.
+			c.mu.Unlock()
+			_ = conn.Close()
+		}
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return 0, nil, ErrClientClosed
 	}
 	if c.conn == nil {
-		conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
-		if err != nil {
-			return 0, nil, err
-		}
-		c.attach(conn)
-		c.event(&c.reconnects, "reconnect")
+		// Poisoned between install and use by a concurrent failure;
+		// report a transport error so the retry loop redials.
+		return 0, nil, errors.New("cache: connection lost before exchange")
 	}
 	status, payload, err := c.exchange(op, key, value)
 	if err == nil {

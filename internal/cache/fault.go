@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -33,6 +34,33 @@ type FaultConfig struct {
 	CloseRate float64
 	// Seed drives the fault RNG streams.
 	Seed uint64
+
+	// KillAfterOps, when > 0, severs every proxied connection each time
+	// that many further request frames complete (a repeating kill
+	// schedule), then refuses connections for Downtime. Ops are counted
+	// by parsing client→server length-prefixed frames, not bytes, so the
+	// schedule is independent of TCP chunking and — for a sequential
+	// client — fully deterministic: two identical runs kill at the same
+	// operations.
+	KillAfterOps int64
+	// Downtime is how long the proxy stays dark after each KillAfterOps
+	// kill (new connections are accepted and immediately closed, which a
+	// retrying client experiences as a dead server). Zero means kill
+	// without a dark window.
+	Downtime time.Duration
+	// Schedule lists explicit outages at cumulative completed-op
+	// thresholds, consumed in order; it composes with (and is checked
+	// before) the repeating KillAfterOps schedule. Thresholds should be
+	// increasing.
+	Schedule []Outage
+}
+
+// Outage is one scripted downtime window: once AfterOps request frames
+// have completed in total, all connections are severed and the proxy
+// stays dark for Downtime.
+type Outage struct {
+	AfterOps int64
+	Downtime time.Duration
 }
 
 // FaultStats counts faults actually injected.
@@ -43,6 +71,11 @@ type FaultStats struct {
 	Closes      int64
 	// Conns is the number of client connections accepted.
 	Conns int64
+	// Ops counts completed client→server request frames observed.
+	Ops int64
+	// Outages counts kill/downtime windows triggered by KillAfterOps or
+	// the scripted Schedule.
+	Outages int64
 }
 
 // FaultProxy is a chaos TCP proxy that sits between a cache Client and
@@ -66,6 +99,15 @@ type FaultProxy struct {
 	corruptions atomic.Int64
 	closes      atomic.Int64
 	accepted    atomic.Int64
+
+	// Kill/outage schedule state. ops counts completed request frames;
+	// downUntil is the UnixNano until which the proxy refuses traffic.
+	ops       atomic.Int64
+	downUntil atomic.Int64
+	outages   atomic.Int64
+	schedMu   sync.Mutex
+	pending   []Outage
+	nextKill  int64
 }
 
 // NewFaultProxy returns a proxy forwarding to target ("host:port") with
@@ -74,11 +116,14 @@ func NewFaultProxy(target string, cfg FaultConfig) *FaultProxy {
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = 5 * time.Millisecond
 	}
-	return &FaultProxy{
+	p := &FaultProxy{
 		target: target,
 		cfg:    cfg,
 		conns:  make(map[net.Conn]struct{}),
 	}
+	p.pending = append([]Outage(nil), cfg.Schedule...)
+	p.nextKill = cfg.KillAfterOps
+	return p
 }
 
 // Listen starts accepting on addr (port 0 picks a free port) and
@@ -102,6 +147,8 @@ func (p *FaultProxy) Stats() FaultStats {
 		Corruptions: p.corruptions.Load(),
 		Closes:      p.closes.Load(),
 		Conns:       p.accepted.Load(),
+		Ops:         p.ops.Load(),
+		Outages:     p.outages.Load(),
 	}
 }
 
@@ -164,7 +211,103 @@ func (p *FaultProxy) acceptLoop() {
 	}
 }
 
+// down reports whether the proxy is inside an outage window.
+func (p *FaultProxy) down() bool {
+	return time.Now().UnixNano() < p.downUntil.Load()
+}
+
+// noteOps folds n newly completed request frames into the outage
+// schedule; a true return means an outage fired and the caller's
+// connection is already severed.
+func (p *FaultProxy) noteOps(n int) bool {
+	if n == 0 || (p.cfg.KillAfterOps <= 0 && len(p.cfg.Schedule) == 0) {
+		return false
+	}
+	total := p.ops.Add(int64(n))
+	p.schedMu.Lock()
+	var downtime time.Duration
+	trigger := false
+	if len(p.pending) > 0 && total >= p.pending[0].AfterOps {
+		downtime = p.pending[0].Downtime
+		p.pending = p.pending[1:]
+		trigger = true
+	} else if p.cfg.KillAfterOps > 0 && total >= p.nextKill {
+		downtime = p.cfg.Downtime
+		for p.nextKill <= total {
+			p.nextKill += p.cfg.KillAfterOps
+		}
+		trigger = true
+	}
+	p.schedMu.Unlock()
+	if !trigger {
+		return false
+	}
+	p.outages.Add(1)
+	if downtime > 0 {
+		p.downUntil.Store(time.Now().Add(downtime).UnixNano())
+	}
+	p.sever()
+	return true
+}
+
+// sever force-closes every proxied connection (both sides), simulating a
+// crashed cache server. The listener stays up; serve refuses new
+// connections while the downtime window lasts.
+func (p *FaultProxy) sever() {
+	p.mu.Lock()
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// frameParser incrementally recognizes length-prefixed request frames in
+// a byte stream, independent of TCP chunk boundaries.
+type frameParser struct {
+	hdr  [4]byte
+	hn   int // header bytes gathered
+	need int // payload bytes remaining in the current frame
+}
+
+// feed consumes a chunk and returns how many frames completed within it.
+func (fp *frameParser) feed(b []byte) int {
+	done := 0
+	for len(b) > 0 {
+		if fp.need == 0 {
+			n := copy(fp.hdr[fp.hn:], b)
+			fp.hn += n
+			b = b[n:]
+			if fp.hn == 4 {
+				fp.need = int(binary.BigEndian.Uint32(fp.hdr[:]))
+				fp.hn = 0
+				if fp.need == 0 {
+					done++
+				}
+			}
+			continue
+		}
+		n := len(b)
+		if n > fp.need {
+			n = fp.need
+		}
+		fp.need -= n
+		b = b[n:]
+		if fp.need == 0 {
+			done++
+		}
+	}
+	return done
+}
+
 func (p *FaultProxy) serve(client net.Conn, id uint64) {
+	if p.down() {
+		// Outage window: the "server" is dark. The accept itself cannot
+		// be suppressed without dropping the listener, but closing the
+		// connection before any byte flows reads as a dead server to a
+		// retrying client.
+		_ = client.Close()
+		return
+	}
 	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
 	if err != nil {
 		_ = client.Close()
@@ -190,18 +333,22 @@ func (p *FaultProxy) serve(client net.Conn, id uint64) {
 	pumps.Add(1)
 	go func() {
 		defer pumps.Done()
-		p.pump(upstream, client, downRNG)
+		p.pump(upstream, client, downRNG, nil)
 	}()
 	// The reverse direction runs inline; when it exits it closes both
-	// conns, which unblocks the goroutine above.
-	p.pump(client, upstream, upRNG)
+	// conns, which unblocks the goroutine above. Only this client→server
+	// direction carries request frames, so only it feeds the op counter.
+	p.pump(client, upstream, upRNG, &frameParser{})
 	pumps.Wait()
 }
 
 // pump copies src → dst in chunks, rolling each chunk against the fault
 // rates. Returning closes both ends (via serve's defer), which is how a
-// Close fault propagates to the peer direction too.
-func (p *FaultProxy) pump(src, dst net.Conn, r *rng.RNG) {
+// Close fault propagates to the peer direction too. A non-nil fp counts
+// completed request frames for the outage schedule; a chunk that crosses
+// a kill threshold is NOT forwarded, so the triggering request fails
+// deterministically instead of racing its response against the sever.
+func (p *FaultProxy) pump(src, dst net.Conn, r *rng.RNG, fp *frameParser) {
 	// Small chunks give faults sub-frame granularity: a 9-byte request
 	// header and a 64 KiB weights payload both get multiple rolls.
 	buf := make([]byte, 1024)
@@ -209,6 +356,11 @@ func (p *FaultProxy) pump(src, dst net.Conn, r *rng.RNG) {
 		n, err := src.Read(buf)
 		if n > 0 {
 			chunk := buf[:n]
+			if fp != nil && p.noteOps(fp.feed(chunk)) {
+				_ = src.Close()
+				_ = dst.Close()
+				return
+			}
 			if p.cfg.CloseRate > 0 && r.Float64() < p.cfg.CloseRate {
 				p.closes.Add(1)
 				_ = src.Close()

@@ -1,0 +1,99 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// scheduledRun drives a fixed sequential op workload through a proxy
+// with the given outage schedule and returns the proxy stats.
+func scheduledRun(t *testing.T, cfg FaultConfig, ops int) FaultStats {
+	t.Helper()
+	srv := NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	proxy := NewFaultProxy(addr, cfg)
+	paddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	cli, err := DialWith(paddr, DialOptions{
+		DialTimeout: 200 * time.Millisecond,
+		OpTimeout:   200 * time.Millisecond,
+		Attempts:    30,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for i := 0; i < ops; i++ {
+		if err := cli.Put(fmt.Sprintf("k/%d", i), []byte{byte(i)}); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	// Every op must have landed despite the kills.
+	for i := 0; i < ops; i++ {
+		if v, err := cli.Get(fmt.Sprintf("k/%d", i)); err != nil || len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("k/%d = %v, %v", i, v, err)
+		}
+	}
+	return proxy.Stats()
+}
+
+// A repeating kill schedule must fire deterministically: two identical
+// sequential runs observe the same number of outages, and clients ride
+// through every one of them.
+func TestFaultProxyKillScheduleDeterministic(t *testing.T) {
+	cfg := FaultConfig{KillAfterOps: 10, Downtime: 30 * time.Millisecond, Seed: 3}
+	a := scheduledRun(t, cfg, 25)
+	b := scheduledRun(t, cfg, 25)
+	if a.Outages == 0 {
+		t.Fatal("kill schedule never fired")
+	}
+	if a.Outages != b.Outages {
+		t.Fatalf("outage counts diverged across identical runs: %d vs %d", a.Outages, b.Outages)
+	}
+	if a.Ops != b.Ops {
+		t.Fatalf("op counts diverged across identical runs: %d vs %d", a.Ops, b.Ops)
+	}
+}
+
+func TestFaultProxyScriptedOutages(t *testing.T) {
+	cfg := FaultConfig{
+		Schedule: []Outage{
+			{AfterOps: 5, Downtime: 20 * time.Millisecond},
+			{AfterOps: 12, Downtime: 20 * time.Millisecond},
+		},
+		Seed: 3,
+	}
+	st := scheduledRun(t, cfg, 20)
+	if st.Outages != 2 {
+		t.Fatalf("scripted outages fired %d times, want 2", st.Outages)
+	}
+}
+
+func TestFrameParserChunkIndependence(t *testing.T) {
+	// One 9-byte request frame (4-byte length prefix + 5-byte body)
+	// followed by another, split at every possible boundary, must always
+	// count exactly 2 frames.
+	frame := []byte{0, 0, 0, 5, 'P', 0, 0, 0, 0}
+	stream := append(append([]byte(nil), frame...), frame...)
+	for cut := 1; cut < len(stream); cut++ {
+		fp := &frameParser{}
+		got := fp.feed(stream[:cut]) + fp.feed(stream[cut:])
+		if got != 2 {
+			t.Fatalf("cut %d: counted %d frames, want 2", cut, got)
+		}
+	}
+}

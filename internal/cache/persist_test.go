@@ -1,0 +1,254 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"stellaris/internal/obs"
+)
+
+func TestPersistRecoverKeyspace(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Persistent() {
+		t.Fatal("store not persistent")
+	}
+	if err := c.Put("weights/latest", []byte("w1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("traj/0/1", []byte("trajectory")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("doomed", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Incr("version"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, err := r.Get("weights/latest"); err != nil || string(v) != "w1" {
+		t.Fatalf("weights/latest = %q, %v", v, err)
+	}
+	if v, err := r.Get("traj/0/1"); err != nil || string(v) != "trajectory" {
+		t.Fatalf("traj = %q, %v", v, err)
+	}
+	if _, err := r.Get("doomed"); err == nil {
+		t.Fatal("deleted key resurrected")
+	}
+	// Counter must continue from the recovered value.
+	if v, err := r.Incr("version"); err != nil || v != 4 {
+		t.Fatalf("Incr after recovery = %d, %v (want 4)", v, err)
+	}
+	if n, _ := r.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+func TestPersistTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a record whose declared length exceeds
+	// the bytes actually written.
+	f, err := os.OpenFile(filepath.Join(dir, aofName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn []byte
+	torn = binary.BigEndian.AppendUint32(torn, 500)
+	torn = append(torn, aofPut, 0, 0)
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, err := r.Get("a"); err != nil || string(v) != "1" {
+		t.Fatalf("a = %q, %v", v, err)
+	}
+	if v, err := r.Get("b"); err != nil || string(v) != "2" {
+		t.Fatalf("b = %q, %v", v, err)
+	}
+}
+
+func TestPersistCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, snapName)
+	b, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(snap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersistentMemCache(dir); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestPersistCompaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compaction churn in -short mode")
+	}
+	dir := t.TempDir()
+	c, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.InstrumentPersistence(reg)
+	for i := 0; i < compactOps+10; i++ {
+		if _, err := c.Incr("spin"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := os.Stat(filepath.Join(dir, aofName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compaction fired mid-loop, so the AOF holds only the post-snapshot
+	// tail, far below one record per op.
+	if st.Size() > int64(compactOps) {
+		t.Fatalf("aof still %d bytes after compaction", st.Size())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, err := r.Incr("spin"); err != nil || v != int64(compactOps)+11 {
+		t.Fatalf("counter after compaction+recovery = %d, %v", v, err)
+	}
+}
+
+// A full server restart over a persistent store must be invisible to a
+// retrying client: in-flight ops ride through the bounce and the
+// keyspace comes back intact.
+func TestPersistentServerRestartClientRidesThrough(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cli, err := DialWith(addr, DialOptions{
+		DialTimeout: 200 * time.Millisecond,
+		OpTimeout:   200 * time.Millisecond,
+		Attempts:    40,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := cli.Put(fmt.Sprintf("k/%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill the server and store, then issue an op while it is down.
+	srv.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opDone := make(chan error, 1)
+	go func() {
+		opDone <- cli.Put("k/during", []byte("survived"))
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+
+	// Restart on the same address with a recovered store.
+	store2, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	srv2 := NewServer(store2)
+	var lerr error
+	for i := 0; i < 100; i++ {
+		if _, lerr = srv2.Listen(addr); lerr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if lerr != nil {
+		t.Fatalf("rebind: %v", lerr)
+	}
+	defer srv2.Close()
+
+	if err := <-opDone; err != nil {
+		t.Fatalf("op across restart: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		v, err := cli.Get(fmt.Sprintf("k/%d", i))
+		if err != nil || len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("k/%d after restart = %v, %v", i, v, err)
+		}
+	}
+	if v, err := cli.Get("k/during"); err != nil || string(v) != "survived" {
+		t.Fatalf("k/during = %q, %v", v, err)
+	}
+	if cli.Stats().Reconnects == 0 {
+		t.Fatal("client never reconnected — restart was not exercised")
+	}
+}

@@ -1,0 +1,621 @@
+// Package ckpt implements Stellaris's crash-safe training checkpoints.
+//
+// A checkpoint captures everything the parameter function needs to
+// resume mid-training after a process kill: the policy weights, the
+// optimizer moments, the policy-version counter and round index, the
+// staleness-threshold state (the warmup-measured δ_max anchoring Eq. 3's
+// β_k schedule plus any gradients delayed in the aggregation queue), the
+// importance-truncation group state (Eq. 2), and — for the deterministic
+// lockstep pipeline — every worker's RNG stream position and gradient
+// sequence number, so a seeded resumed run reproduces the uninterrupted
+// run's trajectory bit for bit.
+//
+// The on-disk format is stdlib-only (encoding/binary + CRC-32):
+//
+//	magic "STLCKPT1" (8 bytes)
+//	u32   format version (currently 1)
+//	u64   payload length
+//	payload (see Encode)
+//	u32   CRC-32 (IEEE) of the payload
+//
+// All integers are big-endian, matching the cache wire protocol. Writes
+// go through an O_EXCL temp file, fsync, and atomic rename, so a crash
+// mid-write never corrupts the previous checkpoint; Load verifies the
+// checksum, so a torn or bit-rotted file is rejected rather than
+// resumed from.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"stellaris/internal/optim"
+	"stellaris/internal/rng"
+)
+
+// CacheKey is the reserved cache key mirroring the latest checkpoint, so
+// a restarted trainer can resume even when its local checkpoint
+// directory was lost (fresh container). Keys under "sys/" are reserved
+// for system state and must not be used for trajectories or gradients.
+const CacheKey = "sys/ckpt/latest"
+
+// magic identifies a Stellaris checkpoint file.
+const magic = "STLCKPT1"
+
+// formatVersion is bumped on incompatible payload changes.
+const formatVersion = 1
+
+// headerLen is magic + format version + payload length.
+const headerLen = 8 + 4 + 8
+
+// maxPayload bounds decode allocations on adversarial input (matches the
+// cache protocol's frame cap).
+const maxPayload = 256 << 20
+
+// ErrNoCheckpoint is returned by LoadLatest when the directory holds no
+// readable checkpoint.
+var ErrNoCheckpoint = errors.New("ckpt: no checkpoint found")
+
+// Mode records which training pipeline wrote the checkpoint. Lockstep
+// checkpoints carry worker RNG states and can only resume a lockstep
+// run; async checkpoints resume the concurrent pipeline.
+type Mode uint8
+
+const (
+	// ModeAsync is the concurrent goroutine pipeline.
+	ModeAsync Mode = 0
+	// ModeLockstep is the deterministic single-threaded pipeline.
+	ModeLockstep Mode = 1
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeAsync:
+		return "async"
+	case ModeLockstep:
+		return "lockstep"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Fingerprint identifies the training configuration that produced a
+// checkpoint. Resume refuses a checkpoint whose fingerprint does not
+// match the current options: silently continuing with, say, a different
+// hidden width or decay factor would corrupt training rather than
+// resume it.
+type Fingerprint struct {
+	Env  string
+	Algo string
+
+	Hidden          int
+	FrameSize       int
+	Actors          int
+	Learners        int
+	ActorSteps      int
+	BatchSize       int
+	UpdatesPerRound int
+	SmoothV         int
+
+	Seed uint64
+
+	DecayD       float64
+	Rho          float64
+	LearningRate float64
+}
+
+// Validate reports an error naming every field on which want differs
+// from the checkpoint's fingerprint.
+func (fp Fingerprint) Validate(want Fingerprint) error {
+	if fp == want {
+		return nil
+	}
+	var diffs []string
+	add := func(field string, got, exp interface{}) {
+		diffs = append(diffs, fmt.Sprintf("%s: checkpoint %v, options %v", field, got, exp))
+	}
+	if fp.Env != want.Env {
+		add("env", fp.Env, want.Env)
+	}
+	if fp.Algo != want.Algo {
+		add("algo", fp.Algo, want.Algo)
+	}
+	if fp.Hidden != want.Hidden {
+		add("hidden", fp.Hidden, want.Hidden)
+	}
+	if fp.FrameSize != want.FrameSize {
+		add("frame-size", fp.FrameSize, want.FrameSize)
+	}
+	if fp.Actors != want.Actors {
+		add("actors", fp.Actors, want.Actors)
+	}
+	if fp.Learners != want.Learners {
+		add("learners", fp.Learners, want.Learners)
+	}
+	if fp.ActorSteps != want.ActorSteps {
+		add("actor-steps", fp.ActorSteps, want.ActorSteps)
+	}
+	if fp.BatchSize != want.BatchSize {
+		add("batch-size", fp.BatchSize, want.BatchSize)
+	}
+	if fp.UpdatesPerRound != want.UpdatesPerRound {
+		add("updates-per-round", fp.UpdatesPerRound, want.UpdatesPerRound)
+	}
+	if fp.SmoothV != want.SmoothV {
+		add("smooth-v", fp.SmoothV, want.SmoothV)
+	}
+	if fp.Seed != want.Seed {
+		add("seed", fp.Seed, want.Seed)
+	}
+	if fp.DecayD != want.DecayD {
+		add("decay-d", fp.DecayD, want.DecayD)
+	}
+	if fp.Rho != want.Rho {
+		add("rho", fp.Rho, want.Rho)
+	}
+	if fp.LearningRate != want.LearningRate {
+		add("learning-rate", fp.LearningRate, want.LearningRate)
+	}
+	return fmt.Errorf("ckpt: fingerprint mismatch (%s)", strings.Join(diffs, "; "))
+}
+
+// WorkerState is one worker goroutine's deterministic-replay state.
+type WorkerState struct {
+	// RNG is the worker's generator position.
+	RNG rng.State
+	// Seq is the worker's next trajectory/gradient sequence number.
+	Seq int64
+}
+
+// QueuedGrad is a gradient delayed in the staleness aggregation queue at
+// checkpoint time, persisted so the resumed run aggregates the identical
+// group.
+type QueuedGrad struct {
+	LearnerID   int
+	BornVersion int
+	Samples     int
+	MeanRatio   float64
+	KL          float64
+	Grad        []float64
+}
+
+// Checkpoint is the full resumable training state.
+type Checkpoint struct {
+	Mode Mode
+	Fp   Fingerprint
+
+	// Version is the policy-version counter; Round is Version divided by
+	// UpdatesPerRound (stored explicitly so Eq. 3's round index survives
+	// config-independent inspection).
+	Version int64
+	Round   int64
+
+	// Weights and Opt are the policy parameters and optimizer moments.
+	Weights []float64
+	Opt     optim.State
+
+	// DeltaMax is the warmup-measured δ_max; StaleSum/StaleN accumulate
+	// the MeanStaleness report statistic.
+	DeltaMax float64
+	StaleSum float64
+	StaleN   int64
+
+	// GroupMin/GroupCount are the truncation tracker's in-flight group
+	// (Eq. 2). GroupMin is +Inf for an empty group.
+	GroupMin   float64
+	GroupCount int64
+
+	// Queue holds gradients delayed by the staleness threshold.
+	Queue []QueuedGrad
+
+	// Episodes and Returns accumulate the episode-return report.
+	Episodes int64
+	Returns  []float64
+
+	// Actors and Learners carry per-worker replay state; present only in
+	// ModeLockstep checkpoints.
+	Actors   []WorkerState
+	Learners []WorkerState
+}
+
+// --- binary encoding -------------------------------------------------
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)    { w.buf = append(w.buf, v) }
+func (w *writer) u32(v uint32)  { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)  { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) vec(v []float64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("ckpt: truncated payload at offset %d", r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// count reads a length prefix and bounds it by the remaining bytes
+// divided by the per-element floor, preventing huge allocations from a
+// corrupt prefix.
+func (r *reader) count(elemFloor int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemFloor > len(r.buf)-r.off {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+func (r *reader) vec() []float64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.f64()
+	}
+	return v
+}
+
+func (w *writer) fingerprint(fp Fingerprint) {
+	w.str(fp.Env)
+	w.str(fp.Algo)
+	for _, v := range []int{fp.Hidden, fp.FrameSize, fp.Actors, fp.Learners,
+		fp.ActorSteps, fp.BatchSize, fp.UpdatesPerRound, fp.SmoothV} {
+		w.i64(int64(v))
+	}
+	w.u64(fp.Seed)
+	w.f64(fp.DecayD)
+	w.f64(fp.Rho)
+	w.f64(fp.LearningRate)
+}
+
+func (r *reader) fingerprint() Fingerprint {
+	var fp Fingerprint
+	fp.Env = r.str()
+	fp.Algo = r.str()
+	for _, p := range []*int{&fp.Hidden, &fp.FrameSize, &fp.Actors, &fp.Learners,
+		&fp.ActorSteps, &fp.BatchSize, &fp.UpdatesPerRound, &fp.SmoothV} {
+		*p = int(r.i64())
+	}
+	fp.Seed = r.u64()
+	fp.DecayD = r.f64()
+	fp.Rho = r.f64()
+	fp.LearningRate = r.f64()
+	return fp
+}
+
+func (w *writer) workers(ws []WorkerState) {
+	w.u32(uint32(len(ws)))
+	for _, s := range ws {
+		for _, x := range s.RNG.S {
+			w.u64(x)
+		}
+		w.f64(s.RNG.Spare)
+		if s.RNG.HasSpare {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.i64(s.Seq)
+	}
+}
+
+func (r *reader) workers() []WorkerState {
+	n := r.count(4*8 + 8 + 1 + 8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	ws := make([]WorkerState, n)
+	for i := range ws {
+		for j := range ws[i].RNG.S {
+			ws[i].RNG.S[j] = r.u64()
+		}
+		ws[i].RNG.Spare = r.f64()
+		ws[i].RNG.HasSpare = r.u8() == 1
+		ws[i].Seq = r.i64()
+	}
+	return ws
+}
+
+// Encode serializes the checkpoint into the framed, checksummed binary
+// format.
+func Encode(c *Checkpoint) []byte {
+	var w writer
+	w.u8(uint8(c.Mode))
+	w.fingerprint(c.Fp)
+	w.i64(c.Version)
+	w.i64(c.Round)
+	w.vec(c.Weights)
+	w.str(c.Opt.Name)
+	w.i64(c.Opt.Step)
+	w.u32(uint32(len(c.Opt.Vecs)))
+	for _, v := range c.Opt.Vecs {
+		w.vec(v)
+	}
+	w.f64(c.DeltaMax)
+	w.f64(c.StaleSum)
+	w.i64(c.StaleN)
+	w.f64(c.GroupMin)
+	w.i64(c.GroupCount)
+	w.u32(uint32(len(c.Queue)))
+	for _, q := range c.Queue {
+		w.i64(int64(q.LearnerID))
+		w.i64(int64(q.BornVersion))
+		w.i64(int64(q.Samples))
+		w.f64(q.MeanRatio)
+		w.f64(q.KL)
+		w.vec(q.Grad)
+	}
+	w.i64(c.Episodes)
+	w.vec(c.Returns)
+	w.workers(c.Actors)
+	w.workers(c.Learners)
+
+	payload := w.buf
+	out := make([]byte, 0, headerLen+len(payload)+4)
+	out = append(out, magic...)
+	out = binary.BigEndian.AppendUint32(out, formatVersion)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return out
+}
+
+// Decode parses and verifies an encoded checkpoint. It never panics on
+// malformed input: every read is bounds-checked and the CRC is verified
+// before field decoding begins.
+func Decode(b []byte) (*Checkpoint, error) {
+	if len(b) < headerLen+4 {
+		return nil, fmt.Errorf("ckpt: %d bytes is too short for a checkpoint", len(b))
+	}
+	if string(b[:8]) != magic {
+		return nil, errors.New("ckpt: bad magic (not a checkpoint)")
+	}
+	if v := binary.BigEndian.Uint32(b[8:]); v != formatVersion {
+		return nil, fmt.Errorf("ckpt: unsupported format version %d (want %d)", v, formatVersion)
+	}
+	plen := binary.BigEndian.Uint64(b[12:])
+	if plen > maxPayload || headerLen+int(plen)+4 != len(b) {
+		return nil, fmt.Errorf("ckpt: payload length %d inconsistent with file size %d", plen, len(b))
+	}
+	payload := b[headerLen : headerLen+int(plen)]
+	want := binary.BigEndian.Uint32(b[headerLen+int(plen):])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("ckpt: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+
+	r := &reader{buf: payload}
+	c := &Checkpoint{}
+	c.Mode = Mode(r.u8())
+	c.Fp = r.fingerprint()
+	c.Version = r.i64()
+	c.Round = r.i64()
+	c.Weights = r.vec()
+	c.Opt.Name = r.str()
+	c.Opt.Step = r.i64()
+	if n := r.count(4); r.err == nil && n > 0 {
+		c.Opt.Vecs = make([][]float64, n)
+		for i := range c.Opt.Vecs {
+			c.Opt.Vecs[i] = r.vec()
+		}
+	}
+	c.DeltaMax = r.f64()
+	c.StaleSum = r.f64()
+	c.StaleN = r.i64()
+	c.GroupMin = r.f64()
+	c.GroupCount = r.i64()
+	if n := r.count(5*8 + 4); r.err == nil && n > 0 {
+		c.Queue = make([]QueuedGrad, n)
+		for i := range c.Queue {
+			c.Queue[i].LearnerID = int(r.i64())
+			c.Queue[i].BornVersion = int(r.i64())
+			c.Queue[i].Samples = int(r.i64())
+			c.Queue[i].MeanRatio = r.f64()
+			c.Queue[i].KL = r.f64()
+			c.Queue[i].Grad = r.vec()
+		}
+	}
+	c.Episodes = r.i64()
+	c.Returns = r.vec()
+	c.Actors = r.workers()
+	c.Learners = r.workers()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes after payload", len(payload)-r.off)
+	}
+	return c, nil
+}
+
+// --- file I/O --------------------------------------------------------
+
+// Save writes the checkpoint to path atomically: encode to a temp file
+// in the same directory, fsync, rename over the target, then fsync the
+// directory so the rename itself is durable.
+func Save(path string, c *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(Encode(c)); err != nil {
+		cleanup()
+		return fmt.Errorf("ckpt: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("ckpt: sync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and verifies a checkpoint file.
+func Load(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+// keepCheckpoints is how many checkpoint generations WriteDir retains.
+const keepCheckpoints = 3
+
+// fileName returns the directory entry name for a checkpoint at the
+// given version. Zero-padded so lexical order is version order.
+func fileName(version int64) string {
+	return fmt.Sprintf("ckpt-%012d.ckpt", version)
+}
+
+// WriteDir saves the checkpoint into dir under its version-stamped name
+// and prunes all but the newest keepCheckpoints generations. It returns
+// the written path.
+func WriteDir(dir string, c *Checkpoint) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("ckpt: mkdir %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, fileName(c.Version))
+	if err := Save(path, c); err != nil {
+		return "", err
+	}
+	names, err := listCheckpoints(dir)
+	if err == nil {
+		for i := 0; i < len(names)-keepCheckpoints; i++ {
+			_ = os.Remove(filepath.Join(dir, names[i]))
+		}
+	}
+	return path, nil
+}
+
+// listCheckpoints returns checkpoint file names in dir sorted oldest
+// first (lexical order == version order by construction).
+func listCheckpoints(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".ckpt") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadLatest loads the newest valid checkpoint in dir, skipping files
+// that fail verification (a crash mid-write leaves at most a temp file,
+// but disk corruption of an older generation must not block recovery
+// from a good one). It returns ErrNoCheckpoint when nothing readable
+// exists.
+func LoadLatest(dir string) (*Checkpoint, string, error) {
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", ErrNoCheckpoint
+		}
+		return nil, "", err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, names[i])
+		c, err := Load(path)
+		if err != nil {
+			continue
+		}
+		return c, path, nil
+	}
+	return nil, "", ErrNoCheckpoint
+}

@@ -1,0 +1,239 @@
+package ckpt
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stellaris/internal/optim"
+	"stellaris/internal/rng"
+)
+
+func sampleCheckpoint(version int64) *Checkpoint {
+	r := rng.New(99)
+	r.NormFloat64()
+	return &Checkpoint{
+		Mode: ModeLockstep,
+		Fp: Fingerprint{
+			Env: "cartpole", Algo: "ppo",
+			Hidden: 16, FrameSize: 4, Actors: 2, Learners: 2,
+			ActorSteps: 32, BatchSize: 64, UpdatesPerRound: 8, SmoothV: 3,
+			Seed: 5, DecayD: 0.96, Rho: 1.0, LearningRate: 0.0003,
+		},
+		Version:  version,
+		Round:    version / 8,
+		Weights:  []float64{0.1, -0.2, 0.3, math.Pi},
+		Opt:      optim.State{Name: "adam", Step: 17, Vecs: [][]float64{{1, 2}, {3, 4}}},
+		DeltaMax: 3,
+		StaleSum: 12.5,
+		StaleN:   9,
+		GroupMin: math.Inf(1),
+		Queue: []QueuedGrad{
+			{LearnerID: 1, BornVersion: 3, Samples: 64, MeanRatio: 0.97, KL: 0.01, Grad: []float64{5, 6, 7}},
+		},
+		Episodes: 11,
+		Returns:  []float64{20, 35.5},
+		Actors:   []WorkerState{{RNG: r.State(), Seq: 4}},
+		Learners: []WorkerState{{RNG: rng.New(7).State(), Seq: 2}, {RNG: r.State(), Seq: 3}},
+	}
+}
+
+func equalCheckpoints(t *testing.T, a, b *Checkpoint) {
+	t.Helper()
+	if a.Mode != b.Mode || a.Fp != b.Fp || a.Version != b.Version || a.Round != b.Round {
+		t.Fatalf("header mismatch: %+v vs %+v", a, b)
+	}
+	eqVec := func(name string, x, y []float64) {
+		if len(x) != len(y) {
+			t.Fatalf("%s length %d vs %d", name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] && !(math.IsNaN(x[i]) && math.IsNaN(y[i])) {
+				t.Fatalf("%s[%d]: %v vs %v", name, i, x[i], y[i])
+			}
+		}
+	}
+	eqVec("weights", a.Weights, b.Weights)
+	if a.Opt.Name != b.Opt.Name || a.Opt.Step != b.Opt.Step || len(a.Opt.Vecs) != len(b.Opt.Vecs) {
+		t.Fatalf("opt state mismatch: %+v vs %+v", a.Opt, b.Opt)
+	}
+	for i := range a.Opt.Vecs {
+		eqVec("opt vec", a.Opt.Vecs[i], b.Opt.Vecs[i])
+	}
+	if a.DeltaMax != b.DeltaMax || a.StaleSum != b.StaleSum || a.StaleN != b.StaleN ||
+		a.GroupMin != b.GroupMin || a.GroupCount != b.GroupCount {
+		t.Fatal("staleness state mismatch")
+	}
+	if len(a.Queue) != len(b.Queue) {
+		t.Fatalf("queue length %d vs %d", len(a.Queue), len(b.Queue))
+	}
+	for i := range a.Queue {
+		qa, qb := a.Queue[i], b.Queue[i]
+		if qa.LearnerID != qb.LearnerID || qa.BornVersion != qb.BornVersion ||
+			qa.Samples != qb.Samples || qa.MeanRatio != qb.MeanRatio || qa.KL != qb.KL {
+			t.Fatalf("queue[%d] mismatch", i)
+		}
+		eqVec("queue grad", qa.Grad, qb.Grad)
+	}
+	if a.Episodes != b.Episodes {
+		t.Fatal("episodes mismatch")
+	}
+	eqVec("returns", a.Returns, b.Returns)
+	eqWorkers := func(name string, x, y []WorkerState) {
+		if len(x) != len(y) {
+			t.Fatalf("%s length %d vs %d", name, len(x), len(y))
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s[%d]: %+v vs %+v", name, i, x[i], y[i])
+			}
+		}
+	}
+	eqWorkers("actors", a.Actors, b.Actors)
+	eqWorkers("learners", a.Learners, b.Learners)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := sampleCheckpoint(42)
+	got, err := Decode(Encode(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalCheckpoints(t, c, got)
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	b := Encode(sampleCheckpoint(1))
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"bad version", func(b []byte) []byte { b[11] = 99; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"flipped payload bit", func(b []byte) []byte { b[headerLen+5] ^= 0x01; return b }},
+		{"flipped crc", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xde, 0xad) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := append([]byte(nil), b...)
+			if _, err := Decode(tc.mutate(cp)); err == nil {
+				t.Fatal("corrupt checkpoint decoded without error")
+			}
+		})
+	}
+}
+
+// Decode must survive arbitrary mutations without panicking — a corrupt
+// length prefix must not trigger a huge allocation or out-of-bounds read.
+func TestDecodeFuzzSafety(t *testing.T) {
+	b := Encode(sampleCheckpoint(3))
+	r := rng.New(1234)
+	for i := 0; i < 500; i++ {
+		cp := append([]byte(nil), b...)
+		for k := 0; k < 4; k++ {
+			cp[r.Intn(len(cp))] ^= byte(1 << r.Intn(8))
+		}
+		_, _ = Decode(cp) // must not panic
+	}
+}
+
+func TestFingerprintValidate(t *testing.T) {
+	fp := sampleCheckpoint(0).Fp
+	if err := fp.Validate(fp); err != nil {
+		t.Fatal(err)
+	}
+	other := fp
+	other.Hidden = 32
+	other.Seed = 6
+	err := fp.Validate(other)
+	if err == nil {
+		t.Fatal("mismatched fingerprint accepted")
+	}
+	if !strings.Contains(err.Error(), "hidden") || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("error does not name mismatched fields: %v", err)
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckpt")
+	c := sampleCheckpoint(7)
+	if err := Save(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalCheckpoints(t, c, got)
+	// No temp litter.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("expected 1 file, found %d", len(entries))
+	}
+}
+
+func TestWriteDirPrunesAndLoadLatest(t *testing.T) {
+	dir := t.TempDir()
+	for v := int64(1); v <= 5; v++ {
+		if _, err := WriteDir(dir, sampleCheckpoint(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := listCheckpoints(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != keepCheckpoints {
+		t.Fatalf("expected %d retained checkpoints, found %v", keepCheckpoints, names)
+	}
+	c, path, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != 5 {
+		t.Fatalf("latest version %d, want 5", c.Version)
+	}
+	if filepath.Base(path) != fileName(5) {
+		t.Fatalf("latest path %s", path)
+	}
+}
+
+func TestLoadLatestSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	for v := int64(1); v <= 3; v++ {
+		if _, err := WriteDir(dir, sampleCheckpoint(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest generation; recovery must fall back to v2.
+	newest := filepath.Join(dir, fileName(3))
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(newest, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != 2 {
+		t.Fatalf("fell back to version %d, want 2", c.Version)
+	}
+}
+
+func TestLoadLatestEmpty(t *testing.T) {
+	if _, _, err := LoadLatest(t.TempDir()); err != ErrNoCheckpoint {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+	if _, _, err := LoadLatest(filepath.Join(t.TempDir(), "missing")); err != ErrNoCheckpoint {
+		t.Fatalf("missing dir err = %v, want ErrNoCheckpoint", err)
+	}
+}

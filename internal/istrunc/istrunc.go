@@ -80,6 +80,28 @@ func (t *Tracker) View() algo.Truncation {
 	return algo.Truncation{Enabled: t.enabled, GroupMin: gm, Rho: t.rho}
 }
 
+// TrackerState is the serializable group state (checkpointed so a
+// resumed run truncates the in-flight aggregation group identically).
+type TrackerState struct {
+	GroupMin float64
+	Count    int
+}
+
+// ExportState snapshots the current group for a checkpoint.
+func (t *Tracker) ExportState() TrackerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TrackerState{GroupMin: t.groupMin, Count: t.count}
+}
+
+// RestoreState replaces the group state with a previous snapshot.
+func (t *Tracker) RestoreState(st TrackerState) {
+	t.mu.Lock()
+	t.groupMin = st.GroupMin
+	t.count = st.Count
+	t.mu.Unlock()
+}
+
 // Cap returns the current effective ratio bound min(|group min|, ρ), or
 // +Inf when disabled.
 func (t *Tracker) Cap() float64 { return t.View().Cap() }

@@ -10,6 +10,15 @@
 // genuine scheduling nondeterminism. It exists so a downstream user can
 // train against a stellaris-cached deployment, and so the test suite
 // exercises the full network path end to end.
+//
+// Crash safety has three layers (see DESIGN.md §"Crash recovery"):
+// periodic checkpoints (Options.CheckpointDir / Resume) persist the full
+// training state so a killed process resumes mid-run; worker supervision
+// converts actor/learner panics and errors into bounded restarts; and a
+// cache-mirrored checkpoint copy under ckpt.CacheKey survives the loss
+// of the local disk. The deterministic single-threaded Lockstep mode
+// additionally makes a seeded resume reproduce the uninterrupted run's
+// trajectory bit for bit.
 package live
 
 import (
@@ -18,15 +27,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"stellaris/internal/algo"
 	"stellaris/internal/cache"
-	"stellaris/internal/env"
-	"stellaris/internal/istrunc"
 	"stellaris/internal/obs"
-	"stellaris/internal/optim"
-	"stellaris/internal/replay"
-	"stellaris/internal/rng"
-	"stellaris/internal/stale"
 )
 
 // Options configures a live training run.
@@ -67,8 +69,45 @@ type Options struct {
 	CacheAttempts int
 	// MaxStaleFallbacks bounds how many consecutive failed weight
 	// fetches a worker tolerates (reusing its stale copy) before the
-	// run aborts; default 50.
+	// worker is restarted; default 50.
 	MaxStaleFallbacks int
+
+	// CheckpointDir enables crash-safe training: every CheckpointEvery
+	// policy updates the run persists its full state (weights, optimizer
+	// moments, version counter, staleness-threshold state, RNG stream
+	// positions in Lockstep mode) to this directory with atomic renames,
+	// plus a mirrored copy in the cache under ckpt.CacheKey. Empty
+	// disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the update interval between checkpoints;
+	// defaults to UpdatesPerRound when CheckpointDir is set.
+	CheckpointEvery int
+	// Resume loads the newest valid checkpoint before training — from
+	// CheckpointDir first, falling back to the cache mirror — and
+	// continues from its version. A fingerprint mismatch (different env,
+	// topology, seed, or hyperparameters) is an error; no checkpoint at
+	// all silently starts fresh.
+	Resume bool
+	// Lockstep replaces the concurrent pipeline with a deterministic
+	// single-threaded schedule (same wire path, fixed interleaving). A
+	// seeded lockstep run killed at a checkpoint boundary and resumed
+	// reproduces the uninterrupted run's weights bit for bit.
+	Lockstep bool
+
+	// RestartBudget is how many times one actor or learner may be
+	// restarted after a panic or error before the run fails; default 8.
+	RestartBudget int
+	// RestartBackoff is the base delay before a worker restart, doubled
+	// per consecutive restart up to 2s; default 50ms.
+	RestartBackoff time.Duration
+	// ChaosPanicRate injects a seeded panic into learner iterations with
+	// the given probability — a built-in chaos drill for the supervision
+	// layer. Zero (the default) injects nothing.
+	ChaosPanicRate float64
+	// panicHook, when set, is asked before every worker iteration and
+	// triggers a panic on true. Deterministic fault injection for tests.
+	panicHook func(role string, id int) bool
+
 	// Obs receives the run's metrics (live_* families, cache client
 	// events, and — for an in-process server — cache_server_*) and
 	// policy-update spans. Families accumulate, so a Registry should
@@ -122,6 +161,15 @@ func (o Options) withDefaults() (Options, error) {
 	if o.MaxStaleFallbacks <= 0 {
 		o.MaxStaleFallbacks = 50
 	}
+	if o.CheckpointDir != "" && o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = o.UpdatesPerRound
+	}
+	if o.RestartBudget <= 0 {
+		o.RestartBudget = 8
+	}
+	if o.RestartBackoff <= 0 {
+		o.RestartBackoff = 50 * time.Millisecond
+	}
 	return o, nil
 }
 
@@ -152,6 +200,16 @@ type Report struct {
 	// down by reason in live_dropped_payloads_total.
 	DroppedPayloads int64
 
+	// Crash-recovery accounting. ActorRestarts/LearnerRestarts count
+	// supervisor restarts by role; CheckpointsWritten counts successful
+	// checkpoint persists; Resumed/ResumedFromVersion report whether
+	// (and where) the run picked up from a checkpoint.
+	ActorRestarts      int64
+	LearnerRestarts    int64
+	CheckpointsWritten int64
+	Resumed            bool
+	ResumedFromVersion int
+
 	// Obs is a final snapshot of Options.Obs taken after the pipeline
 	// drained; nil when no registry was supplied.
 	Obs *obs.Snapshot
@@ -172,433 +230,33 @@ type gradNote struct {
 	samples     int
 }
 
-// Train runs the live pipeline to completion.
+// Train runs the live pipeline to completion (or resumes it from a
+// checkpoint when Options.Resume is set).
 func Train(opt Options) (*Report, error) {
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-
-	m := newLiveMetrics(opt.Obs)
-	st := &runState{m: m}
-
-	// Cache: external or in-process TCP server.
-	addr := opt.CacheAddr
-	var srv *cache.Server
-	if addr == "" {
-		srv = cache.NewServer(nil)
-		if opt.Obs != nil {
-			srv.Instrument(opt.Obs)
-		}
-		addr, err = srv.Listen("127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		defer srv.Close()
-	}
-	// One client per worker keeps request streams independent. Every
-	// client shares the run's retry/deadline policy and is registered so
-	// its fault-tolerance counters can be folded into the Report.
-	pool := &clientPool{}
-	var dialSeq atomic.Uint64
-	dial := func() (*cache.Client, error) {
-		cli, err := cache.DialWith(addr, cache.DialOptions{
-			OpTimeout: opt.CacheOpTimeout,
-			Attempts:  opt.CacheAttempts,
-			Seed:      opt.Seed + dialSeq.Add(1),
-			Obs:       opt.Obs,
-		})
-		if err != nil {
-			return nil, err
-		}
-		pool.add(cli)
-		return cli, nil
-	}
-
-	template, err := env.NewSized(opt.Env, opt.FrameSize)
+	r, loaded, err := newRun(opt)
 	if err != nil {
 		return nil, err
 	}
-	root := rng.New(opt.Seed)
-	continuous := template.ActionSpace().Continuous
-	var alg algo.Algorithm
-	if opt.Algo == "impact" {
-		alg = algo.NewIMPACT(continuous)
+	defer r.close()
+
+	if int(r.version.Load()) >= opt.Updates {
+		// The checkpoint already covers the requested updates; nothing to
+		// train.
+		return r.buildReport(), nil
+	}
+	if opt.Lockstep {
+		err = r.runLockstep(loaded)
 	} else {
-		alg = algo.NewPPO(continuous)
+		err = r.runAsync()
 	}
-	master := algo.NewModelHidden(template, opt.Hidden, opt.Seed)
-	initWeights := master.Weights()
-
-	opti, err := optim.New(alg.Hyper().Optimizer, alg.Hyper().LearningRate)
 	if err != nil {
 		return nil, err
 	}
-	if opt.LearningRate > 0 {
-		opti.SetLR(opt.LearningRate)
-	}
-
-	paramCli, err := dial()
-	if err != nil {
-		return nil, err
-	}
-	defer paramCli.Close()
-	if err := putWeights(paramCli, 0, initWeights); err != nil {
-		return nil, err
-	}
-
-	var (
-		stop     atomic.Bool
-		version  atomic.Int64
-		episodes atomic.Int64
-		retMu    sync.Mutex
-		returns  []float64
-	)
-	trajCh := make(chan trajNote, 4*opt.Actors)
-	batchCh := make(chan []string, 2*opt.Learners)
-	gradCh := make(chan gradNote, 2*opt.Learners)
-	errCh := make(chan error, opt.Actors+opt.Learners+2)
-	// fail records a fatal worker error AND stops the pipeline: without
-	// the stop, Train would wait forever on a parameter worker whose
-	// feeders have all died (e.g. the cache going away permanently).
-	fail := func(err error) {
-		select {
-		case errCh <- err:
-		default:
-		}
-		stop.Store(true)
-	}
-	tracker := istrunc.New(opt.Rho, true)
-
-	var wg sync.WaitGroup
-
-	if m != nil {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sampleQueues(m, &stop, trajCh, batchCh, gradCh)
-		}()
-	}
-
-	// Actors. RNG streams are split before spawning: the root generator
-	// is not safe for concurrent use.
-	for a := 0; a < opt.Actors; a++ {
-		wg.Add(1)
-		actorRNG := root.Split(uint64(100 + a))
-		go func(id int, r *rng.RNG) {
-			defer wg.Done()
-			cli, err := dial()
-			if err != nil {
-				fail(err)
-				return
-			}
-			defer cli.Close()
-			e, err := env.NewSized(opt.Env, opt.FrameSize)
-			if err != nil {
-				fail(err)
-				return
-			}
-			act := &actor{
-				id: id, opt: opt, cli: cli, env: e,
-				model:   algo.NewModelHidden(e, opt.Hidden, opt.Seed),
-				rng:     r,
-				version: &version,
-				state:   st,
-				onEpisode: func(ret float64) {
-					episodes.Add(1)
-					retMu.Lock()
-					returns = append(returns, ret)
-					if len(returns) > 256 {
-						returns = returns[len(returns)-256:]
-					}
-					retMu.Unlock()
-				},
-			}
-			for !stop.Load() {
-				note, ok, err := act.iterate()
-				if err != nil {
-					fail(err)
-					return
-				}
-				if !ok {
-					continue
-				}
-				select {
-				case trajCh <- note:
-				default:
-					// Loader backlogged: the trajectory stays in the
-					// cache but won't be batched. Sampling throughput
-					// exceeding learner throughput is the overload case
-					// — shed load, and count it.
-					st.drop(dropBackpressure)
-					_ = cli.Delete(note.key)
-				}
-			}
-		}(a, actorRNG)
-	}
-
-	// Data loader: batch trajectory keys by step count.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		var keys []string
-		steps := 0
-		for !stop.Load() {
-			var note trajNote
-			select {
-			case note = <-trajCh:
-			case <-time.After(10 * time.Millisecond):
-				continue
-			}
-			keys = append(keys, note.key)
-			steps += note.steps
-			if steps >= opt.BatchSize {
-				batch := append([]string(nil), keys...)
-				keys = keys[:0]
-				steps = 0
-				select {
-				case batchCh <- batch:
-				default:
-					// Learners saturated: drop the batch (off-policy
-					// data this stale would be discarded anyway). One
-					// drop per trajectory in the batch, so the counter
-					// keeps counting payloads, not batches.
-					for range batch {
-						st.drop(dropBackpressure)
-					}
-				}
-			}
-		}
-	}()
-
-	// Learners.
-	for l := 0; l < opt.Learners; l++ {
-		wg.Add(1)
-		learnerRNG := root.Split(uint64(200 + l))
-		go func(id int, r *rng.RNG) {
-			defer wg.Done()
-			cli, err := dial()
-			if err != nil {
-				fail(err)
-				return
-			}
-			defer cli.Close()
-			model := algo.NewModelHidden(template, opt.Hidden, opt.Seed)
-			var lastW []float64
-			lastBorn := 0
-			staleStreak := 0
-			seq := 0
-			for !stop.Load() {
-				var keys []string
-				select {
-				case keys = <-batchCh:
-				case <-time.After(10 * time.Millisecond):
-					continue
-				}
-				iterStart := time.Now()
-				w, born, err := getWeights(cli)
-				if err != nil {
-					staleStreak++
-					if staleStreak > opt.MaxStaleFallbacks {
-						fail(fmt.Errorf("live: learner %d: weights unavailable after %d fallbacks: %w", id, staleStreak, err))
-						return
-					}
-					st.staleReuse()
-					if lastW == nil {
-						// No weights ever fetched: shed the batch after a
-						// bounded wait rather than compute garbage.
-						st.drop(dropNoWeights)
-						time.Sleep(10 * time.Millisecond)
-						continue
-					}
-					w, born = lastW, lastBorn
-				} else {
-					lastW, lastBorn = w, born
-					staleStreak = 0
-				}
-				if err := model.SetWeights(w); err != nil {
-					fail(err)
-					return
-				}
-				var trajs []*replay.Trajectory
-				for _, k := range keys {
-					raw, err := cli.Get(k)
-					if err != nil {
-						continue // evicted under overload
-					}
-					tr, err := cache.DecodeTrajectory(raw)
-					if err != nil {
-						// Corrupted in transit or storage: skip it.
-						st.drop(dropDecodeFailed)
-						continue
-					}
-					trajs = append(trajs, tr)
-					_ = cli.Delete(k)
-				}
-				if len(trajs) == 0 {
-					continue
-				}
-				batch, err := replay.Flatten(trajs)
-				if err != nil {
-					fail(err)
-					return
-				}
-				g := alg.Compute(model, batch, tracker.View(), algo.Extra{}, r.Split(uint64(seq)))
-				gkey := fmt.Sprintf("grad/%d/%d", id, seq)
-				seq++
-				gb, err := cache.EncodeGrad(&cache.GradMsg{
-					LearnerID: id, BornVersion: born, Grad: g.Data,
-					Samples: g.Stats.Samples, MeanRatio: g.Stats.MeanRatio,
-					MinRatio: g.Stats.MinRatio, KL: g.Stats.KL, Entropy: g.Stats.Entropy,
-				})
-				if err != nil {
-					fail(err)
-					return
-				}
-				if err := cli.Put(gkey, gb); err != nil {
-					// Retries exhausted: shed the gradient; the actors
-					// keep producing and a later batch will land.
-					st.drop(dropPutFailed)
-					continue
-				}
-				m.iter("learner", id, time.Since(iterStart))
-				select {
-				case gradCh <- gradNote{
-					key: gkey, bornVersion: born,
-					meanRatio: g.Stats.MeanRatio, kl: g.Stats.KL, samples: g.Stats.Samples,
-				}:
-				default:
-					// Parameter worker backlogged or stopped: shed the
-					// gradient rather than block shutdown.
-					st.drop(dropBackpressure)
-					_ = cli.Delete(gkey)
-				}
-			}
-		}(l, learnerRNG)
-	}
-
-	// Parameter worker: staleness-aware aggregation and policy updates.
-	agg := stale.NewStellaris()
-	agg.D, agg.V = opt.DecayD, opt.SmoothV
-	agg.UpdatesPerRound = opt.UpdatesPerRound
-	agg.MaxQueue = 4 * opt.Learners
-	weights := append([]float64(nil), initWeights...)
-	var staleSum float64
-	var staleN int
-
-	start := time.Now()
-	done := make(chan struct{})
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		defer close(done)
-		for !stop.Load() {
-			var note gradNote
-			select {
-			case note = <-gradCh:
-			case <-time.After(10 * time.Millisecond):
-				continue
-			}
-			iterStart := time.Now()
-			raw, err := paramCli.Get(note.key)
-			if err != nil {
-				continue
-			}
-			msg, err := cache.DecodeGrad(raw)
-			if err != nil {
-				// Corrupted gradient: discard it, the learners will
-				// produce more.
-				st.drop(dropDecodeFailed)
-				_ = paramCli.Delete(note.key)
-				continue
-			}
-			_ = paramCli.Delete(note.key)
-			tracker.Observe(msg.MeanRatio)
-			v := int(version.Load())
-			if m != nil {
-				m.gradStaleness.Observe(float64(v - msg.BornVersion))
-			}
-			group := agg.Offer(&stale.Entry{
-				LearnerID:   msg.LearnerID,
-				BornVersion: msg.BornVersion,
-				Grad:        msg.Grad,
-				Samples:     msg.Samples,
-				MeanRatio:   msg.MeanRatio,
-				KL:          msg.KL,
-			}, v)
-			if group == nil {
-				continue
-			}
-			var span *obs.SpanHandle
-			if m != nil {
-				span = m.tracer.Start("policy-update")
-			}
-			tracker.ResetGroup()
-			comb := stale.Combine(agg, group, v)
-			opti.Step(weights, comb.Grad)
-			staleSum += comb.MeanStaleness
-			staleN++
-			nv := version.Add(1)
-			// Publishing new weights is the one write the pipeline cannot
-			// shed: on top of the client's own retry budget, keep trying
-			// through a longer outage before declaring the run dead.
-			if err := putWeightsPersistent(paramCli, int(nv), weights, &stop); err != nil {
-				fail(err)
-				return
-			}
-			if m != nil {
-				// live_staleness observes the same per-update means that
-				// Report.MeanStaleness averages, so the histogram's exact
-				// mean and the report agree.
-				m.staleness.Observe(comb.MeanStaleness)
-				m.updates.Inc()
-				span.End()
-				m.iter("param", 0, time.Since(iterStart))
-			}
-			if int(nv) >= opt.Updates {
-				stop.Store(true)
-				return
-			}
-		}
-	}()
-
-	<-done
-	stop.Store(true)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
-	}
-
-	cst := pool.stats()
-	rep := &Report{
-		Updates:           int(version.Load()),
-		Episodes:          int(episodes.Load()),
-		Elapsed:           time.Since(start),
-		FinalWeights:      weights,
-		CacheRetries:      cst.Retries,
-		CacheReconnects:   cst.Reconnects,
-		CacheTimeouts:     cst.Timeouts,
-		StaleWeightReuses: st.staleReuses.Load(),
-		DroppedPayloads:   st.dropped.Load(),
-	}
-	if opt.Obs != nil {
-		rep.Obs = opt.Obs.Snapshot()
-	}
-	if staleN > 0 {
-		rep.MeanStaleness = staleSum / float64(staleN)
-	}
-	retMu.Lock()
-	if len(returns) > 0 {
-		var s float64
-		for _, r := range returns {
-			s += r
-		}
-		rep.MeanReturn = s / float64(len(returns))
-	}
-	retMu.Unlock()
-	return rep, nil
+	return r.buildReport(), nil
 }
 
 // clientPool tracks every cache client a run opens so their

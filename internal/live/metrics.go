@@ -32,6 +32,14 @@ type liveMetrics struct {
 	staleReuse    *obs.Counter      // live_stale_weight_reuses_total
 	updates       *obs.Counter      // live_updates_total
 	tracer        *obs.Tracer
+
+	// Crash-recovery families.
+	restarts         *obs.CounterVec // live_worker_restarts_total{role}
+	recoverySeconds  *obs.Histogram  // live_recovery_seconds
+	ckptWrites       *obs.Counter    // live_checkpoint_writes_total
+	ckptWriteSeconds *obs.Histogram  // live_checkpoint_write_seconds
+	ckptLoads        *obs.Counter    // live_checkpoint_loads_total
+	ckptEvents       *obs.CounterVec // live_checkpoint_events_total{event}
 }
 
 func newLiveMetrics(reg *obs.Registry) *liveMetrics {
@@ -56,13 +64,27 @@ func newLiveMetrics(reg *obs.Registry) *liveMetrics {
 		updates: reg.Counter("live_updates_total",
 			"policy updates applied"),
 		tracer: reg.Tracer(),
+		restarts: reg.CounterVec("live_worker_restarts_total",
+			"supervisor worker restarts, by role", "role"),
+		recoverySeconds: reg.Histogram("live_recovery_seconds",
+			"time from worker failure to restarted worker ready", obs.LatencyBuckets),
+		ckptWrites: reg.Counter("live_checkpoint_writes_total",
+			"checkpoints persisted to the checkpoint directory"),
+		ckptWriteSeconds: reg.Histogram("live_checkpoint_write_seconds",
+			"checkpoint encode+write+rename latency", obs.LatencyBuckets),
+		ckptLoads: reg.Counter("live_checkpoint_loads_total",
+			"checkpoints restored at resume"),
+		ckptEvents: reg.CounterVec("live_checkpoint_events_total",
+			"checkpoint lifecycle events (mirror, mirror-failed, write-failed, mirror-corrupt)", "event"),
 	}
 	// Pre-create the reason children so every exposition shows all four
 	// counters (zero included) — dashboards can tell "no drops" from
-	// "not instrumented".
+	// "not instrumented". Same for the supervisor's two roles.
 	for _, reason := range []string{dropPutFailed, dropDecodeFailed, dropBackpressure, dropNoWeights} {
 		m.drops.With(reason)
 	}
+	m.restarts.With("actor")
+	m.restarts.With("learner")
 	return m
 }
 

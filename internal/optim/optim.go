@@ -27,6 +27,11 @@ type Optimizer interface {
 	// Reset clears moment/velocity state (used when a fresh optimizer
 	// is reconstructed inside a new parameter-function invocation).
 	Reset()
+	// State exports the optimizer's moments for checkpointing.
+	State() State
+	// Restore replaces the moments with a previously exported State; it
+	// fails if the state came from a different optimizer kind.
+	Restore(State) error
 	// Name identifies the optimizer for logs and CSV output.
 	Name() string
 }

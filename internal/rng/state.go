@@ -1,0 +1,29 @@
+package rng
+
+// State is a serializable snapshot of a generator's exact stream
+// position, including the cached Box-Muller spare so NormFloat64
+// sequences continue bit-identically. It exists for crash-safe training:
+// a checkpoint stores each worker's State and a resumed run replays the
+// same random draws as the uninterrupted run.
+type State struct {
+	S [4]uint64
+	// Spare and HasSpare mirror the cached Gaussian deviate.
+	Spare    float64
+	HasSpare bool
+}
+
+// State returns the generator's current stream position.
+func (r *RNG) State() State {
+	return State{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// FromState reconstructs a generator positioned exactly at st. The next
+// draw matches the next draw the snapshotted generator would have made.
+func FromState(st State) *RNG {
+	r := &RNG{s: st.S, spare: st.Spare, hasSpare: st.HasSpare}
+	// Guard the invalid all-zero xoshiro state, as New does.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}

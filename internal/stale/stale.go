@@ -136,6 +136,41 @@ func NewStellaris() *Stellaris {
 	return &Stellaris{D: 0.96, V: 3, WarmupRounds: 1, UpdatesPerRound: 8, MaxQueue: 16}
 }
 
+// StellarisState is the serializable adaptive-threshold state: the
+// warmup-measured δ_max that anchors Eq. 3's β_k schedule, plus any
+// gradients delayed in the aggregation queue. Checkpoints persist it so
+// a resumed run enforces the same staleness threshold — and aggregates
+// the same queued gradients — as the uninterrupted run.
+type StellarisState struct {
+	DeltaMax float64
+	Queue    []*Entry
+}
+
+// ExportState snapshots the aggregator for a checkpoint. The queue
+// entries are copied (gradients included) so later mutation of the
+// aggregator does not alias the checkpoint.
+func (s *Stellaris) ExportState() StellarisState {
+	st := StellarisState{DeltaMax: s.deltaMax}
+	for _, e := range s.queue {
+		cp := *e
+		cp.Grad = append([]float64(nil), e.Grad...)
+		st.Queue = append(st.Queue, &cp)
+	}
+	return st
+}
+
+// RestoreState replaces the aggregator's adaptive state with a
+// previously exported snapshot.
+func (s *Stellaris) RestoreState(st StellarisState) {
+	s.deltaMax = st.DeltaMax
+	s.queue = nil
+	for _, e := range st.Queue {
+		cp := *e
+		cp.Grad = append([]float64(nil), e.Grad...)
+		s.queue = append(s.queue, &cp)
+	}
+}
+
 // roundOf converts a policy version into a training-round index.
 func (s *Stellaris) roundOf(version int) int {
 	u := s.UpdatesPerRound
