@@ -7,7 +7,7 @@ BENCHTIME ?= 100ms
 BENCHPKGS ?= . ./internal/nn ./internal/cache
 FUZZTIME ?= 5s
 
-.PHONY: build test race cover fmt vet lint bench fuzz-short chaos ci
+.PHONY: build test race cover fmt vet lint bench fuzz-short chaos trace-smoke ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ chaos:
 	$(GO) test -race -count=1 \
 		-run 'Chaos|Resume|Supervisor|Lockstep|Recovery|Persist|FaultProxy|FrameParser|Checkpoint|WriteDir|LoadLatest|SaveLoad|Fingerprint|Decode' \
 		./internal/live ./internal/cache ./internal/ckpt
+
+# Causal-tracing smoke: short lockstep + DES runs must reconstruct at
+# least one fully linked trajectory→gradient→aggregation chain and
+# export schema-valid Chrome trace JSON (see DESIGN.md "Causal tracing
+# & flight recorder").
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TraceSmoke|TraceDES' ./internal/live ./internal/core
 
 # Short live fuzz of the cache wire codec and framing. The checked-in
 # corpus under internal/cache/testdata/fuzz replays on every plain

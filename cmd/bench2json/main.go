@@ -74,7 +74,27 @@ func parse(r io.Reader) ([]Record, error) {
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	check := flag.String("check", "", "validate an existing JSON artifact: fail unless it holds >= 1 record")
 	flag.Parse()
+
+	if *check != "" {
+		b, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		var recs []Record
+		if err := json.Unmarshal(b, &recs); err != nil {
+			fmt.Fprintf(os.Stderr, "bench2json: %s is not a benchmark JSON array: %v\n", *check, err)
+			os.Exit(1)
+		}
+		if len(recs) == 0 {
+			fmt.Fprintf(os.Stderr, "bench2json: %s holds no benchmark records\n", *check)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench2json: %s ok (%d benchmarks)\n", *check, len(recs))
+		return
+	}
 
 	recs, err := parse(os.Stdin)
 	if err != nil {

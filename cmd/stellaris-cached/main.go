@@ -30,6 +30,7 @@ import (
 
 	"stellaris/internal/cache"
 	"stellaris/internal/obs"
+	"stellaris/internal/obs/lineage"
 )
 
 func main() {
@@ -62,6 +63,14 @@ func main() {
 		if store != nil {
 			store.InstrumentPersistence(reg)
 		}
+		// Server-side causal tracing: the cache's own view of artifacts
+		// crossing its boundary (put/fetched hops on traj/ and grad/
+		// keys), served at /trace.chrome.json even when the workers live
+		// in other processes.
+		lin := lineage.New(reg.Now, lineage.Options{Hooks: obs.LineageHooks(reg, obs.LatencyBuckets)})
+		srv.InstrumentLineage(lin)
+		reg.SetTraceSource(lin)
+		reg.SetInfo("mode", "cached")
 		hs, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stellaris-cached: obs:", err)
@@ -69,6 +78,7 @@ func main() {
 		}
 		defer hs.Close()
 		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", hs.Addr())
+		fmt.Printf("causal trace on http://%s/trace.chrome.json (open in ui.perfetto.dev)\n", hs.Addr())
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

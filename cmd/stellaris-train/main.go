@@ -82,6 +82,7 @@ func main() {
 		}
 		defer hs.Close()
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (pprof under /debug/pprof/)\n", hs.Addr())
+		fmt.Fprintf(os.Stderr, "causal trace on http://%s/trace.chrome.json once training starts (open in ui.perfetto.dev)\n", hs.Addr())
 	}
 
 	t, err := core.NewTrainer(cfg)

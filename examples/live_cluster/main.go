@@ -21,7 +21,12 @@
 // -obs-addr serves live metrics (Prometheus text at /metrics, JSON at
 // /metrics.json, spans at /trace.json, pprof under /debug/pprof/) while
 // the run is in flight; -obs-dir periodically dumps the same snapshots
-// to disk.
+// to disk. With a registry attached the run also records end-to-end
+// causal lineage: download /trace.chrome.json and open it in Perfetto
+// (ui.perfetto.dev) to see every trajectory→gradient→aggregation chain,
+// and check /healthz and /buildinfo for liveness and run identity.
+// -flight-dir picks where crash postmortems (flight-recorder dumps)
+// land; it defaults to -checkpoint-dir.
 package main
 
 import (
@@ -57,6 +62,7 @@ func main() {
 	flag.BoolVar(&opt.Resume, "resume", false, "resume from the newest checkpoint (directory, then cache mirror)")
 	flag.BoolVar(&opt.Lockstep, "lockstep", false, "deterministic single-threaded schedule (bit-identical resume)")
 	flag.IntVar(&opt.RestartBudget, "restart-budget", 8, "worker restarts allowed before the run fails")
+	flag.StringVar(&opt.FlightDir, "flight-dir", "", "write flight-recorder crash dumps here (empty = -checkpoint-dir)")
 	flag.Float64Var(&opt.ChaosPanicRate, "chaos-panic", 0, "probability a learner iteration panics (supervision drill)")
 	flag.Float64Var(&chaos, "chaos", 0, "fault-injection rate (0 disables; 0.05 = 5% drops/delays per chunk)")
 	flag.StringVar(&obsAddr, "obs-addr", "", "metrics/pprof HTTP address (e.g. :9090; empty disables)")
@@ -74,6 +80,7 @@ func main() {
 		}
 		defer hs.Close()
 		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", hs.Addr())
+		fmt.Printf("causal trace on http://%s/trace.chrome.json (open in ui.perfetto.dev)\n", hs.Addr())
 	}
 	if obsDir != "" {
 		stop := obs.StartDump(opt.Obs, obsDir, obsEvery, func(err error) {
@@ -135,5 +142,9 @@ func main() {
 	if rep.ActorRestarts+rep.LearnerRestarts+rep.CheckpointsWritten > 0 {
 		fmt.Printf("crash recovery: %d actor restarts, %d learner restarts, %d checkpoints written\n",
 			rep.ActorRestarts, rep.LearnerRestarts, rep.CheckpointsWritten)
+	}
+	if rep.TraceEvents > 0 {
+		fmt.Printf("lineage: %d trace events, max depth %d, %d flight dumps\n",
+			rep.TraceEvents, rep.MaxLineageDepth, rep.FlightDumps)
 	}
 }

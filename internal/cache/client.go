@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"stellaris/internal/obs"
+	"stellaris/internal/obs/lineage"
 	"stellaris/internal/rng"
 )
 
@@ -45,6 +46,13 @@ type DialOptions struct {
 	// across every client dialed with the same registry). Nil disables
 	// registry exposition; per-client Stats always work.
 	Obs *obs.Registry
+	// Lineage, when set, records a put/fetched hop into the shared
+	// lineage store for every successful Put/Get of a data key (traj/ or
+	// grad/ prefix) — the client-side view of the artifact crossing the
+	// cache boundary. LineageName labels those events with the worker
+	// driving this client ("actor/0#1").
+	Lineage     *lineage.Store
+	LineageName string
 }
 
 const (
@@ -325,10 +333,41 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return time.Duration((0.5 + c.jitter.Float64()) * float64(d))
 }
 
+// dataKeyKind maps a cache key to its lineage artifact kind ("" for
+// keys that are not traced data artifacts — weights/latest, sys/*).
+func dataKeyKind(key string) string {
+	switch {
+	case strings.HasPrefix(key, "traj/"):
+		return lineage.KindTrajectory
+	case strings.HasPrefix(key, "grad/"):
+		return lineage.KindGradient
+	}
+	return ""
+}
+
+// lineageHop records a cache-boundary hop for data keys when tracing is
+// enabled.
+func (c *Client) lineageHop(hop, key string) {
+	if c.opts.Lineage == nil {
+		return
+	}
+	kind := dataKeyKind(key)
+	if kind == "" {
+		return
+	}
+	c.opts.Lineage.Record(lineage.Event{
+		Trace: key, Kind: kind, Hop: hop, Actor: c.opts.LineageName,
+	})
+}
+
 // Put implements Cache.
 func (c *Client) Put(key string, val []byte) error {
 	status, payload, err := c.roundTrip('P', key, val)
-	return respErr(status, payload, err, key)
+	if err := respErr(status, payload, err, key); err != nil {
+		return err
+	}
+	c.lineageHop(lineage.HopPut, key)
+	return nil
 }
 
 // Get implements Cache.
@@ -343,6 +382,7 @@ func (c *Client) Get(key string) ([]byte, error) {
 	if status != '+' {
 		return nil, errors.New(string(payload))
 	}
+	c.lineageHop(lineage.HopFetched, key)
 	return payload, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"stellaris/internal/obs/lineage"
 	"stellaris/internal/replay"
 )
 
@@ -18,6 +19,11 @@ import (
 type WeightsMsg struct {
 	Version int
 	Weights []float64
+	// Trace is the causal-tracing context (see internal/obs/lineage).
+	// gob tolerates the field's absence in either direction, so payloads
+	// encoded by pre-tracing builds still decode and old decoders skip
+	// it — the wire protocol itself is unchanged.
+	Trace lineage.Meta
 }
 
 // GradMsg is one learner function's output.
@@ -34,6 +40,13 @@ type GradMsg struct {
 	MinRatio  float64
 	KL        float64
 	Entropy   float64
+	// Truncated counts samples whose importance ratio hit the Eq. 2
+	// truncation cap during this gradient's computation — carried so the
+	// parameter side can attribute truncated-by-IS lineage hops.
+	Truncated int
+	// Trace is the causal-tracing context (backward compatible; see
+	// WeightsMsg.Trace).
+	Trace lineage.Meta
 }
 
 // EncodeTrajectory gob-encodes a trajectory.

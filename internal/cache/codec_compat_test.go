@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"stellaris/internal/obs/lineage"
+	"stellaris/internal/replay"
+)
+
+// The Trace fields added to the wire payloads must not break the cache
+// protocol in either direction: payloads gob-encoded by a pre-tracing
+// build decode on a current one (Trace stays zero), and payloads from a
+// current build decode on a pre-tracing one (Trace is skipped). These
+// legacy struct shapes are frozen copies of the pre-tracing schema.
+
+type legacyWeightsMsg struct {
+	Version int
+	Weights []float64
+}
+
+type legacyGradMsg struct {
+	LearnerID   int
+	BornVersion int
+	Grad        []float64
+	Samples     int
+	MeanRatio   float64
+	MinRatio    float64
+	KL          float64
+	Entropy     float64
+}
+
+type legacyStep struct {
+	Obs        []float64
+	Action     []float64
+	Reward     float64
+	Done       bool
+	LogProb    float64
+	DistParams []float64
+}
+
+type legacyTrajectory struct {
+	ActorID        int
+	PolicyVersion  int
+	Steps          []legacyStep
+	EpisodeReturns []float64
+}
+
+func gobBytes(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCodecDecodesLegacyPayloads(t *testing.T) {
+	w, err := DecodeWeights(gobBytes(t, &legacyWeightsMsg{Version: 7, Weights: []float64{1, 2}}))
+	if err != nil {
+		t.Fatalf("legacy weights payload rejected: %v", err)
+	}
+	if w.Version != 7 || len(w.Weights) != 2 || w.Trace != (lineage.Meta{}) {
+		t.Fatalf("legacy weights decoded wrong: %+v", w)
+	}
+
+	g, err := DecodeGrad(gobBytes(t, &legacyGradMsg{LearnerID: 3, BornVersion: 5, Grad: []float64{0.5}, Samples: 32}))
+	if err != nil {
+		t.Fatalf("legacy gradient payload rejected: %v", err)
+	}
+	if g.LearnerID != 3 || g.BornVersion != 5 || g.Truncated != 0 || g.Trace != (lineage.Meta{}) {
+		t.Fatalf("legacy gradient decoded wrong: %+v", g)
+	}
+
+	tr, err := DecodeTrajectory(gobBytes(t, &legacyTrajectory{
+		ActorID: 1, PolicyVersion: 4,
+		Steps: []legacyStep{{Obs: []float64{0.1}, Action: []float64{1}, Reward: 1}},
+	}))
+	if err != nil {
+		t.Fatalf("legacy trajectory payload rejected: %v", err)
+	}
+	if tr.ActorID != 1 || tr.PolicyVersion != 4 || len(tr.Steps) != 1 || tr.Trace != (lineage.Meta{}) {
+		t.Fatalf("legacy trajectory decoded wrong: %+v", tr)
+	}
+}
+
+func TestLegacyDecodersSkipTrace(t *testing.T) {
+	meta := lineage.Meta{ID: "grad/0/0", Kind: lineage.KindGradient, Origin: "learner/0#0", Parent: "weights/3"}
+
+	wb, err := EncodeWeights(&WeightsMsg{Version: 9, Weights: []float64{3}, Trace: lineage.Meta{ID: "weights/9", Kind: lineage.KindWeights}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lw legacyWeightsMsg
+	if err := gob.NewDecoder(bytes.NewReader(wb)).Decode(&lw); err != nil {
+		t.Fatalf("old client cannot decode traced weights: %v", err)
+	}
+	if lw.Version != 9 || len(lw.Weights) != 1 {
+		t.Fatalf("old client decoded wrong: %+v", lw)
+	}
+
+	gb, err := EncodeGrad(&GradMsg{LearnerID: 2, BornVersion: 3, Grad: []float64{1}, Truncated: 4, Trace: meta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lg legacyGradMsg
+	if err := gob.NewDecoder(bytes.NewReader(gb)).Decode(&lg); err != nil {
+		t.Fatalf("old client cannot decode traced gradient: %v", err)
+	}
+	if lg.LearnerID != 2 || lg.BornVersion != 3 {
+		t.Fatalf("old client decoded wrong: %+v", lg)
+	}
+
+	tb, err := EncodeTrajectory(&replay.Trajectory{
+		ActorID: 5, PolicyVersion: 6,
+		Steps: []replay.Step{{Obs: []float64{1}, Action: []float64{0}}},
+		Trace: lineage.Meta{ID: "traj/5/0", Kind: lineage.KindTrajectory},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lt legacyTrajectory
+	if err := gob.NewDecoder(bytes.NewReader(tb)).Decode(&lt); err != nil {
+		t.Fatalf("old client cannot decode traced trajectory: %v", err)
+	}
+	if lt.ActorID != 5 || lt.PolicyVersion != 6 || len(lt.Steps) != 1 {
+		t.Fatalf("old client decoded wrong: %+v", lt)
+	}
+}
+
+// TestClientLineageHops checks the client records put/fetched hops for
+// data keys when wired with a lineage store.
+func TestClientLineageHops(t *testing.T) {
+	srv := NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var now float64
+	lin := lineage.New(func() float64 { now++; return now }, lineage.Options{})
+	cli, err := DialWith(addr, DialOptions{Lineage: lin, LineageName: "actor/0#0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.Put("traj/0/0", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Get("traj/0/0"); err != nil {
+		t.Fatal(err)
+	}
+	// Non-data keys must not pollute the trace store.
+	if err := cli.Put("weights/latest", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := lin.Timeline("traj/0/0")
+	if len(tl) != 2 || tl[0].Hop != lineage.HopPut || tl[1].Hop != lineage.HopFetched {
+		t.Fatalf("client hops: %+v", tl)
+	}
+	if tl[0].Actor != "actor/0#0" {
+		t.Fatalf("hop actor %q", tl[0].Actor)
+	}
+	if got := lin.Timeline("weights/latest"); got != nil {
+		t.Fatalf("non-data key traced: %+v", got)
+	}
+}

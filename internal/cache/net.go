@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"stellaris/internal/obs"
+	"stellaris/internal/obs/lineage"
 )
 
 // Wire protocol (the Redis stand-in): each message is a length-prefixed
@@ -105,6 +106,7 @@ type Server struct {
 	done  bool
 	conns map[net.Conn]struct{}
 	m     *serverMetrics
+	lin   *lineage.Store
 }
 
 // serverMetrics is the server's view into an obs registry.
@@ -127,6 +129,27 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		conns:     reg.Counter("cache_server_connections_total", "connections accepted"),
 		active:    reg.Gauge("cache_server_active_connections", "connections currently open"),
 	}
+}
+
+// InstrumentLineage records the server-side view of data-key traffic
+// (put on successful 'P', fetched on 'G' hits, for traj/ and grad/
+// keys) into lin as actor "cache-server". With both client and server
+// instrumented, one artifact shows the hop from both sides of the wire
+// — that redundancy is the point of cross-process tracing (a client hop
+// without its server twin localizes the loss). Call before Listen; nil
+// disables.
+func (s *Server) InstrumentLineage(lin *lineage.Store) { s.lin = lin }
+
+// lineageHop mirrors Client.lineageHop for the server side.
+func (s *Server) lineageHop(hop, key string) {
+	if s.lin == nil {
+		return
+	}
+	kind := dataKeyKind(key)
+	if kind == "" {
+		return
+	}
+	s.lin.Record(lineage.Event{Trace: key, Kind: kind, Hop: hop, Actor: "cache-server"})
 }
 
 // opName maps a protocol opcode to its metric label.
@@ -260,12 +283,14 @@ func (s *Server) handle(w io.Writer, f frame) error {
 	switch f.op {
 	case 'P':
 		_ = s.store.Put(f.key, f.value)
+		s.lineageHop(lineage.HopPut, f.key)
 		return writeResp(w, '+', nil)
 	case 'G':
 		v, err := s.store.Get(f.key)
 		if err != nil {
 			return writeResp(w, '-', nil)
 		}
+		s.lineageHop(lineage.HopFetched, f.key)
 		return writeResp(w, '+', v)
 	case 'D':
 		_ = s.store.Delete(f.key)

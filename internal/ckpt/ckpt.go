@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
@@ -110,6 +111,15 @@ type Fingerprint struct {
 	DecayD       float64
 	Rho          float64
 	LearningRate float64
+}
+
+// Hash returns a short stable digest of the fingerprint (FNV-1a over
+// the printed struct), suitable as a configuration identity on
+// /buildinfo and in trace metadata.
+func (fp Fingerprint) Hash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", fp)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Validate reports an error naming every field on which want differs

@@ -11,6 +11,7 @@ import (
 	"stellaris/internal/istrunc"
 	"stellaris/internal/metrics"
 	"stellaris/internal/obs"
+	"stellaris/internal/obs/lineage"
 	"stellaris/internal/profile"
 	"stellaris/internal/replay"
 	"stellaris/internal/rng"
@@ -82,10 +83,14 @@ type Result struct {
 	// Obs is a final snapshot of Config.Obs taken when the run finished;
 	// nil when no registry was supplied. Timestamps are virtual seconds.
 	Obs *obs.Snapshot
+	// Lineage is the run's causal-trace store (virtual-clock timestamps,
+	// per-invocation dollar costs attached); nil without Config.Obs.
+	Lineage *lineage.Store
 }
 
 type pendingBatch struct {
 	batch *replay.Batch
+	srcs  []string // trace IDs of the batched trajectories
 }
 
 // Trainer runs one configuration to completion on a private DES. It is
@@ -138,6 +143,8 @@ type Trainer struct {
 	hist      *metrics.Histogram
 	breakdown *metrics.Breakdown
 	m         *coreMetrics
+	lin       *lineage.Store
+	trajSeq   []int
 	klTrace   []float64
 	probe     [][]float64
 	prof      *profile.Set
@@ -298,7 +305,15 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		cfg.Obs.SetClock(t.clock.Now)
 		t.m = newCoreMetrics(cfg.Obs)
 		t.plat.Instrument(cfg.Obs)
+		// Causal tracing rides the same virtual clock, so trace
+		// timestamps line up with every other DES observation.
+		t.lin = lineage.New(cfg.Obs.Now, lineage.Options{
+			Hooks: obs.LineageHooks(cfg.Obs, obs.VirtualBuckets),
+		})
+		cfg.Obs.SetTraceSource(t.lin)
+		cfg.Obs.SetInfo("mode", "des")
 	}
+	t.trajSeq = make([]int, cfg.NumActors)
 
 	// KL probe states (Fig. 3c) from a short random rollout.
 	if cfg.TrackKL {
@@ -350,7 +365,7 @@ func minI(a, b int) int {
 // Run executes the configured training and returns its result.
 func (t *Trainer) Run() (*Result, error) {
 	// Publish the initial policy and pre-warm containers (§VII).
-	t.publishWeights()
+	t.publishWeights(0)
 	t.plat.Prewarm("learner", t.cfg.LearnerSlots())
 	t.plat.Prewarm("parameter", 1)
 	if t.cfg.ServerlessActors {
@@ -396,6 +411,7 @@ func (t *Trainer) Run() (*Result, error) {
 	res.FinalWeights = append([]float64(nil), t.master...)
 	if t.cfg.Obs != nil {
 		res.Obs = t.cfg.Obs.Snapshot()
+		res.Lineage = t.lin
 	}
 	for _, kind := range t.plat.Kinds() {
 		if kind != "learner" {
@@ -408,9 +424,19 @@ func (t *Trainer) Run() (*Result, error) {
 }
 
 // publishWeights writes the current policy to the cache (the paper's
-// Redis hop; the payload also sizes broadcast latency).
-func (t *Trainer) publishWeights() {
-	msg := &cache.WeightsMsg{Version: t.version, Weights: t.master}
+// Redis hop; the payload also sizes broadcast latency). costUSD is the
+// parameter invocation's bill attributed to the new version's birth
+// (zero for the initial, un-invoked publish).
+func (t *Trainer) publishWeights(costUSD float64) {
+	wid := lineage.WeightsID(t.version)
+	t.lin.Record(lineage.Event{
+		Trace: wid, Kind: lineage.KindWeights, Hop: lineage.HopProduced,
+		Actor: "parameter", CostUSD: costUSD,
+	})
+	msg := &cache.WeightsMsg{
+		Version: t.version, Weights: t.master,
+		Trace: lineage.Meta{ID: wid, Kind: lineage.KindWeights, Origin: "parameter"},
+	}
 	b, err := cache.EncodeWeights(msg)
 	if err != nil {
 		t.fail(err)
@@ -418,7 +444,11 @@ func (t *Trainer) publishWeights() {
 	}
 	if err := t.kv.Put("weights/latest", b); err != nil {
 		t.fail(err)
+		return
 	}
+	t.lin.Record(lineage.Event{
+		Trace: wid, Kind: lineage.KindWeights, Hop: lineage.HopPut, Actor: "parameter",
+	})
 }
 
 func (t *Trainer) fail(err error) {
@@ -440,6 +470,13 @@ func (t *Trainer) scheduleActor(id int) {
 	pulled := t.version
 	traj := t.sampleTrajectory(id)
 	traj.PolicyVersion = pulled
+	tid := fmt.Sprintf("traj/%d/%d", id, t.trajSeq[id])
+	t.trajSeq[id]++
+	aname := fmt.Sprintf("actor/%d", id)
+	traj.Trace = lineage.Meta{
+		ID: tid, Kind: lineage.KindTrajectory,
+		Origin: aname, Parent: lineage.WeightsID(pulled),
+	}
 
 	params := len(t.master)
 	pull := t.lat.TransferTime(8*params, t.timeRng)
@@ -457,9 +494,21 @@ func (t *Trainer) scheduleActor(id int) {
 		if inv.Failed {
 			// The sampling burst crashed: its trajectory is lost and
 			// the actor starts over (time and cost already charged).
+			t.lin.Record(lineage.Event{
+				Trace: tid, Kind: lineage.KindTrajectory, Hop: lineage.HopShed,
+				Actor: aname, Detail: "sampling invocation crashed",
+				CostUSD: inv.CostUSD,
+			})
 			t.scheduleActor(id)
 			return
 		}
+		t.lin.Record(lineage.Event{
+			Trace: tid, Kind: lineage.KindTrajectory, Hop: lineage.HopProduced,
+			Actor: aname, Ref: lineage.WeightsID(pulled), CostUSD: inv.CostUSD,
+		})
+		t.lin.Record(lineage.Event{
+			Trace: tid, Kind: lineage.KindTrajectory, Hop: lineage.HopPut, Actor: aname,
+		})
 		t.handleTrajectory(traj)
 		if id >= t.activeActors {
 			// The autoscaler shrank the fleet: this actor parks until
@@ -552,12 +601,14 @@ func (t *Trainer) handleTrajectory(traj *replay.Trajectory) {
 	t.pendingSteps += len(traj.Steps)
 	for t.pendingSteps >= t.batchSize {
 		var take []*replay.Trajectory
+		var srcs []string
 		steps := 0
 		for len(t.pendingTraj) > 0 && steps < t.batchSize {
 			tr := t.pendingTraj[0]
 			t.pendingTraj = t.pendingTraj[1:]
 			steps += len(tr.Steps)
 			take = append(take, tr)
+			srcs = append(srcs, tr.Trace.ID)
 		}
 		t.pendingSteps -= steps
 		batch, err := replay.Flatten(take)
@@ -565,7 +616,7 @@ func (t *Trainer) handleTrajectory(traj *replay.Trajectory) {
 			t.fail(err)
 			return
 		}
-		t.dispatchLearner(batch)
+		t.dispatchLearner(batch, srcs)
 	}
 }
 
@@ -585,13 +636,13 @@ func (t *Trainer) oldestOutstanding() (int, bool) {
 // The gradient math runs now (against the current policy — the function
 // input pins the policy ID at invocation, §IV step 2); the result is
 // delivered when the function's modeled execution completes.
-func (t *Trainer) dispatchLearner(batch *replay.Batch) {
+func (t *Trainer) dispatchLearner(batch *replay.Batch, srcs []string) {
 	if t.done {
 		return
 	}
 	if ssp, ok := t.aggPol.(*stale.SSP); ok {
 		if oldest, has := t.oldestOutstanding(); has && !ssp.CanDispatch(oldest, t.version) {
-			t.gated = append(t.gated, pendingBatch{batch: batch})
+			t.gated = append(t.gated, pendingBatch{batch: batch, srcs: srcs})
 			return
 		}
 	}
@@ -600,6 +651,20 @@ func (t *Trainer) dispatchLearner(batch *replay.Batch) {
 	born := t.version
 	t.outstanding[id] = born
 	t.invokedRound++
+	gid := fmt.Sprintf("grad/%d", id)
+	lname := fmt.Sprintf("learner/%d", id)
+	for _, src := range srcs {
+		if src == "" {
+			continue
+		}
+		t.lin.Record(lineage.Event{
+			Trace: src, Kind: lineage.KindTrajectory, Hop: lineage.HopFetched, Actor: lname,
+		})
+		t.lin.Record(lineage.Event{
+			Trace: src, Kind: lineage.KindTrajectory, Hop: lineage.HopConsumed,
+			Actor: lname, Ref: gid,
+		})
+	}
 
 	var extra algo.Extra
 	if t.alg.NeedsTarget() {
@@ -641,9 +706,13 @@ func (t *Trainer) dispatchLearner(batch *replay.Batch) {
 		return total
 	}
 
+	// costUSD accumulates across crashed attempts so the trace's produced
+	// hop bills the gradient's true dollar cost, retries included.
+	var costUSD float64
 	var attempt func()
 	attempt = func() {
 		t.plat.Invoke("learner", dur, func(inv serverless.Invocation) {
+			costUSD += inv.CostUSD
 			if t.done {
 				delete(t.outstanding, id)
 				return
@@ -656,6 +725,19 @@ func (t *Trainer) dispatchLearner(batch *replay.Batch) {
 				return
 			}
 			delete(t.outstanding, id)
+			t.lin.Record(lineage.Event{
+				Trace: gid, Kind: lineage.KindGradient, Hop: lineage.HopProduced,
+				Actor: lname, Ref: lineage.WeightsID(born), CostUSD: costUSD,
+			})
+			if g.Stats.Truncated > 0 {
+				t.lin.Record(lineage.Event{
+					Trace: gid, Kind: lineage.KindGradient, Hop: lineage.HopTruncated,
+					Actor: lname, Detail: fmt.Sprintf("%d importance ratios capped", g.Stats.Truncated),
+				})
+			}
+			t.lin.Record(lineage.Event{
+				Trace: gid, Kind: lineage.KindGradient, Hop: lineage.HopPut, Actor: lname,
+			})
 			t.tracker.Observe(g.Stats.MeanRatio)
 			entry := &stale.Entry{
 				LearnerID:   id,
@@ -665,6 +747,7 @@ func (t *Trainer) dispatchLearner(batch *replay.Batch) {
 				MeanRatio:   g.Stats.MeanRatio,
 				KL:          g.Stats.KL,
 				Enqueued:    t.clock.Now(),
+				Trace:       gid,
 			}
 			if group := t.aggPol.Offer(entry, t.version); group != nil {
 				t.tracker.ResetGroup()
@@ -697,7 +780,7 @@ func (t *Trainer) retryGated() {
 	gated := t.gated
 	t.gated = nil
 	for _, p := range gated {
-		t.dispatchLearner(p.batch)
+		t.dispatchLearner(p.batch, p.srcs)
 	}
 }
 
@@ -712,24 +795,27 @@ func (t *Trainer) invokeParameter(group []*stale.Entry) {
 	t.observe(CompAggregate, agg)
 	t.observe(CompBroadcast, broadcast)
 	t.prof.For("parameter").Observe(agg+broadcast, t.clock.Now())
+	var costUSD float64
 	var attempt func()
 	attempt = func() {
 		t.plat.InvokeFixed("parameter", agg+broadcast, func(inv serverless.Invocation) {
+			costUSD += inv.CostUSD
 			if inv.Failed {
 				if !t.done {
 					attempt()
 				}
 				return
 			}
-			t.applyUpdate(group)
+			t.applyUpdate(group, costUSD)
 		})
 	}
 	attempt()
 }
 
 // applyUpdate performs the staleness-weighted aggregation (Eq. 4), the
-// optimizer step, and round bookkeeping.
-func (t *Trainer) applyUpdate(group []*stale.Entry) {
+// optimizer step, and round bookkeeping. costUSD is the parameter
+// invocation's accumulated bill, attributed to the new weight version.
+func (t *Trainer) applyUpdate(group []*stale.Entry, costUSD float64) {
 	if t.done {
 		return
 	}
@@ -743,6 +829,22 @@ func (t *Trainer) applyUpdate(group []*stale.Entry) {
 
 	t.opt.Step(t.master, comb.Grad)
 	t.version++
+	if t.lin != nil {
+		wid := lineage.WeightsID(t.version)
+		for i, e := range group {
+			if e.Trace == "" {
+				continue
+			}
+			var detail string
+			if i < len(comb.Stalenesses) {
+				detail = fmt.Sprintf("staleness %d", comb.Stalenesses[i])
+			}
+			t.lin.Record(lineage.Event{
+				Trace: e.Trace, Kind: lineage.KindGradient, Hop: lineage.HopAggregated,
+				Actor: "parameter", Ref: wid, Detail: detail,
+			})
+		}
+	}
 	t.hist.ObserveAll(comb.Stalenesses)
 	if t.m != nil {
 		for _, s := range comb.Stalenesses {
@@ -761,7 +863,7 @@ func (t *Trainer) applyUpdate(group []*stale.Entry) {
 	if t.alg.NeedsTarget() && t.version%t.targetEvery == 0 {
 		copy(t.target, t.master)
 	}
-	t.publishWeights()
+	t.publishWeights(costUSD)
 
 	// A training round is UpdatesPerRound policy updates; close the
 	// round's CSV row at the boundary.

@@ -199,7 +199,8 @@ func TestTreeClean(t *testing.T) {
 }
 
 // TestDESClockedDetection pins which packages the wallclock check
-// covers: simclock itself and its direct importers.
+// covers: simclock itself, its direct importers, and the clock-agnostic
+// lineage store.
 func TestDESClockedDetection(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-module load skipped in -short")
@@ -219,6 +220,7 @@ func TestDESClockedDetection(t *testing.T) {
 		"stellaris/internal/simclock",
 		"stellaris/internal/core",
 		"stellaris/internal/serverless",
+		"stellaris/internal/obs/lineage",
 	} {
 		if !des[want] {
 			t.Errorf("%s should be DES-clocked", want)

@@ -29,9 +29,13 @@ const simclockPath = "stellaris/internal/simclock"
 // desClocked reports whether p runs on the virtual clock: the simclock
 // engine itself plus every package that imports it (internal/core,
 // internal/serverless, and any future consumer — the import *is* the
-// declaration that the package's notion of time is the DES).
+// declaration that the package's notion of time is the DES). The
+// lineage store is clock-agnostic by contract (its timestamps come from
+// an injected func() float64 that may be a DES clock), so it is held to
+// the same rule even though it cannot import simclock itself.
 func desClocked(p *Package) bool {
-	if strings.HasSuffix(p.Path, "internal/simclock") {
+	if strings.HasSuffix(p.Path, "internal/simclock") ||
+		strings.HasSuffix(p.Path, "internal/obs/lineage") {
 		return true
 	}
 	return importsPath(p, simclockPath)

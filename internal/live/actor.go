@@ -8,6 +8,7 @@ import (
 	"stellaris/internal/algo"
 	"stellaris/internal/cache"
 	"stellaris/internal/env"
+	"stellaris/internal/obs/lineage"
 	"stellaris/internal/replay"
 	"stellaris/internal/rng"
 )
@@ -39,6 +40,12 @@ type actor struct {
 
 	// onEpisode is called with each finished episode's return.
 	onEpisode func(ret float64)
+
+	// lin and name attribute this actor's lineage events (nil/"" when
+	// tracing is off). name carries the supervisor incarnation
+	// ("actor/0#1") so a restarted actor is distinguishable in traces.
+	lin  *lineage.Store
+	name string
 }
 
 // iterate runs one actor step: fetch the latest weights (degrading to
@@ -109,6 +116,14 @@ func (a *actor) iterate() (note trajNote, ok bool, err error) {
 	}
 	key := fmt.Sprintf("traj/%d/%d", a.id, a.seq)
 	a.seq++
+	traj.Trace = lineage.Meta{
+		ID: key, Kind: lineage.KindTrajectory,
+		Origin: a.name, Parent: lineage.WeightsID(ver),
+	}
+	a.lin.Record(lineage.Event{
+		Trace: key, Kind: lineage.KindTrajectory, Hop: lineage.HopProduced,
+		Actor: a.name, Ref: lineage.WeightsID(ver),
+	})
 	b, err := cache.EncodeTrajectory(traj)
 	if err != nil {
 		return trajNote{}, false, err
@@ -117,6 +132,10 @@ func (a *actor) iterate() (note trajNote, ok bool, err error) {
 		// Retries exhausted: shed this trajectory and keep sampling —
 		// losing rollouts is recoverable, dying is not.
 		a.state.drop(dropPutFailed)
+		a.lin.Record(lineage.Event{
+			Trace: key, Kind: lineage.KindTrajectory, Hop: lineage.HopShed,
+			Actor: a.name, Detail: dropPutFailed,
+		})
 		return trajNote{}, false, nil
 	}
 	return trajNote{key: key, steps: len(traj.Steps)}, true, nil

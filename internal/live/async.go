@@ -10,6 +10,7 @@ import (
 	"stellaris/internal/ckpt"
 	"stellaris/internal/env"
 	"stellaris/internal/obs"
+	"stellaris/internal/obs/lineage"
 	"stellaris/internal/replay"
 	"stellaris/internal/rng"
 	"stellaris/internal/stale"
@@ -46,8 +47,11 @@ func (r *run) runAsync() error {
 		actorRNG := r.root.Split(uint64(100 + a))
 		go func(id int, workerRNG *rng.RNG) {
 			defer wg.Done()
+			incarnation := 0
 			r.supervise("actor", id, func(ready func()) error {
-				cli, err := r.dial()
+				name := workerName("actor", id, incarnation)
+				incarnation++
+				cli, err := r.dial(name)
 				if err != nil {
 					return err
 				}
@@ -63,6 +67,8 @@ func (r *run) runAsync() error {
 					version:   &r.version,
 					state:     r.st,
 					onEpisode: r.noteEpisode,
+					lin:       r.lin,
+					name:      name,
 				}
 				ready()
 				for !r.stop.Load() {
@@ -84,6 +90,7 @@ func (r *run) runAsync() error {
 						// exceeding learner throughput is the overload case
 						// — shed load, and count it.
 						r.st.drop(dropBackpressure)
+						r.recordShed(note.key, lineage.KindTrajectory, name, dropBackpressure)
 						_ = cli.Delete(note.key)
 					}
 				}
@@ -117,9 +124,18 @@ func (r *run) runAsync() error {
 					// Learners saturated: drop the batch (off-policy
 					// data this stale would be discarded anyway). One
 					// drop per trajectory in the batch, so the counter
-					// keeps counting payloads, not batches.
-					for range batch {
+					// keeps counting payloads, not batches. In lineage
+					// terms this is the dropped-as-stale hop: the data
+					// aged out of usefulness waiting for a learner.
+					for _, k := range batch {
 						r.st.drop(dropBackpressure)
+						if r.lin != nil {
+							r.lin.Record(lineage.Event{
+								Trace: k, Kind: lineage.KindTrajectory,
+								Hop: lineage.HopDroppedStale, Actor: "loader",
+								Detail: "batch shed under learner backpressure",
+							})
+						}
 					}
 				}
 			}
@@ -136,8 +152,11 @@ func (r *run) runAsync() error {
 		go func(id int, workerRNG, chaos *rng.RNG) {
 			defer wg.Done()
 			seq := 0
+			incarnation := 0
 			r.supervise("learner", id, func(ready func()) error {
-				return r.learnerBody(id, workerRNG, chaos, &seq, batchCh, gradCh, ready)
+				name := workerName("learner", id, incarnation)
+				incarnation++
+				return r.learnerBody(id, name, workerRNG, chaos, &seq, batchCh, gradCh, ready)
 			})
 		}(l, learnerRNG, chaosRNG)
 	}
@@ -165,11 +184,12 @@ func (r *run) runAsync() error {
 
 // learnerBody is one learner incarnation: dial, rebuild the model, then
 // batch → fetch → compute → publish until the pipeline stops. seq is
-// shared across incarnations of the same learner id.
-func (r *run) learnerBody(id int, workerRNG, chaos *rng.RNG, seq *int,
+// shared across incarnations of the same learner id; name carries the
+// incarnation for lineage attribution.
+func (r *run) learnerBody(id int, name string, workerRNG, chaos *rng.RNG, seq *int,
 	batchCh chan []string, gradCh chan gradNote, ready func()) error {
 	opt := r.opt
-	cli, err := r.dial()
+	cli, err := r.dial(name)
 	if err != nil {
 		return err
 	}
@@ -215,6 +235,11 @@ func (r *run) learnerBody(id int, workerRNG, chaos *rng.RNG, seq *int,
 		if err := model.SetWeights(w); err != nil {
 			return err
 		}
+		// The gradient's trace identity is fixed before the fetch loop so
+		// each consumed trajectory can reference its downstream artifact
+		// (the forward link Chain() follows); seq itself advances only
+		// after the compute succeeds, as before.
+		gkey := fmt.Sprintf("grad/%d/%d", id, *seq)
 		var trajs []*replay.Trajectory
 		for _, k := range keys {
 			raw, err := cli.Get(k)
@@ -225,9 +250,11 @@ func (r *run) learnerBody(id int, workerRNG, chaos *rng.RNG, seq *int,
 			if err != nil {
 				// Corrupted in transit or storage: skip it.
 				r.st.drop(dropDecodeFailed)
+				r.recordShed(k, lineage.KindTrajectory, name, dropDecodeFailed)
 				continue
 			}
 			trajs = append(trajs, tr)
+			r.recordConsumed(k, gkey, name)
 			_ = cli.Delete(k)
 		}
 		if len(trajs) == 0 {
@@ -238,12 +265,17 @@ func (r *run) learnerBody(id int, workerRNG, chaos *rng.RNG, seq *int,
 			return err
 		}
 		g := r.alg.Compute(model, batch, r.tracker.View(), algo.Extra{}, workerRNG.Split(uint64(*seq)))
-		gkey := fmt.Sprintf("grad/%d/%d", id, *seq)
 		*seq++
+		r.recordGradProduced(gkey, name, born, g.Stats.Truncated)
 		gb, err := cache.EncodeGrad(&cache.GradMsg{
 			LearnerID: id, BornVersion: born, Grad: g.Data,
 			Samples: g.Stats.Samples, MeanRatio: g.Stats.MeanRatio,
 			MinRatio: g.Stats.MinRatio, KL: g.Stats.KL, Entropy: g.Stats.Entropy,
+			Truncated: g.Stats.Truncated,
+			Trace: lineage.Meta{
+				ID: gkey, Kind: lineage.KindGradient,
+				Origin: name, Parent: lineage.WeightsID(born),
+			},
 		})
 		if err != nil {
 			return err
@@ -252,6 +284,7 @@ func (r *run) learnerBody(id int, workerRNG, chaos *rng.RNG, seq *int,
 			// Retries exhausted: shed the gradient; the actors
 			// keep producing and a later batch will land.
 			r.st.drop(dropPutFailed)
+			r.recordShed(gkey, lineage.KindGradient, name, dropPutFailed)
 			continue
 		}
 		r.m.iter("learner", id, time.Since(iterStart))
@@ -264,6 +297,7 @@ func (r *run) learnerBody(id int, workerRNG, chaos *rng.RNG, seq *int,
 			// Parameter worker backlogged or stopped: shed the
 			// gradient rather than block shutdown.
 			r.st.drop(dropBackpressure)
+			r.recordShed(gkey, lineage.KindGradient, name, dropBackpressure)
 			_ = cli.Delete(gkey)
 		}
 	}
@@ -301,6 +335,10 @@ func (r *run) paramLoop(gradCh chan gradNote) {
 		if r.m != nil {
 			r.m.gradStaleness.Observe(float64(v - msg.BornVersion))
 		}
+		traceID := msg.Trace.ID
+		if traceID == "" {
+			traceID = note.key // payload from a pre-tracing producer
+		}
 		group := r.agg.Offer(&stale.Entry{
 			LearnerID:   msg.LearnerID,
 			BornVersion: msg.BornVersion,
@@ -308,6 +346,7 @@ func (r *run) paramLoop(gradCh chan gradNote) {
 			Samples:     msg.Samples,
 			MeanRatio:   msg.MeanRatio,
 			KL:          msg.KL,
+			Trace:       traceID,
 		}, v)
 		if group == nil {
 			continue
@@ -322,6 +361,13 @@ func (r *run) paramLoop(gradCh chan gradNote) {
 		r.staleSum += comb.MeanStaleness
 		r.staleN++
 		nv := r.version.Add(1)
+		if r.lin != nil {
+			traces := make([]string, len(group))
+			for i, e := range group {
+				traces[i] = e.Trace
+			}
+			r.recordWeightsProduced(int(nv), traces)
+		}
 		// Publishing new weights is the one write the pipeline cannot
 		// shed: on top of the client's own retry budget, keep trying
 		// through a longer outage before declaring the run dead.

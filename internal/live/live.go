@@ -29,6 +29,7 @@ import (
 
 	"stellaris/internal/cache"
 	"stellaris/internal/obs"
+	"stellaris/internal/obs/lineage"
 )
 
 // Options configures a live training run.
@@ -108,6 +109,15 @@ type Options struct {
 	// triggers a panic on true. Deterministic fault injection for tests.
 	panicHook func(role string, id int) bool
 
+	// FlightDir is where the supervisor writes flight-recorder dumps —
+	// JSON postmortems holding the last lineage events recorded before a
+	// worker panic-restart or a run failure (see DESIGN.md "Causal
+	// tracing & flight recorder"). Defaults to CheckpointDir; with both
+	// empty no dump file is written (the cache mirror under
+	// "sys/flight/latest" still is, when tracing is on). Requires
+	// Options.Obs — the flight recorder is the lineage store's ring.
+	FlightDir string
+
 	// Obs receives the run's metrics (live_* families, cache client
 	// events, and — for an in-process server — cache_server_*) and
 	// policy-update spans. Families accumulate, so a Registry should
@@ -164,6 +174,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.CheckpointDir != "" && o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = o.UpdatesPerRound
 	}
+	if o.FlightDir == "" {
+		o.FlightDir = o.CheckpointDir
+	}
 	if o.RestartBudget <= 0 {
 		o.RestartBudget = 8
 	}
@@ -209,6 +222,18 @@ type Report struct {
 	CheckpointsWritten int64
 	Resumed            bool
 	ResumedFromVersion int
+
+	// Causal-tracing summary (all zero without Options.Obs).
+	// TraceEvents is the number of lineage events recorded;
+	// MaxLineageDepth the deepest ancestry observed (weights=1 →
+	// trajectory=2 → gradient=3); FlightDumps the number of
+	// flight-recorder postmortems taken.
+	TraceEvents     int64
+	MaxLineageDepth int
+	FlightDumps     int64
+	// Lineage is the run's lineage store, for programmatic timeline and
+	// chain queries (nil without Options.Obs).
+	Lineage *lineage.Store
 
 	// Obs is a final snapshot of Options.Obs taken after the pipeline
 	// drained; nil when no registry was supplied.
@@ -303,9 +328,15 @@ func putWeightsPersistent(c cache.Cache, version int, w []float64, stop *atomic.
 	return fmt.Errorf("live: publishing weights v%d failed persistently: %w", version, err)
 }
 
-// putWeights stores a versioned weight vector.
+// putWeights stores a versioned weight vector under "weights/latest",
+// stamped with the synthetic per-version trace identity.
 func putWeights(c cache.Cache, version int, w []float64) error {
-	b, err := cache.EncodeWeights(&cache.WeightsMsg{Version: version, Weights: w})
+	b, err := cache.EncodeWeights(&cache.WeightsMsg{
+		Version: version, Weights: w,
+		Trace: lineage.Meta{
+			ID: lineage.WeightsID(version), Kind: lineage.KindWeights, Origin: "param",
+		},
+	})
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"stellaris/internal/cache"
 	"stellaris/internal/ckpt"
 	"stellaris/internal/env"
+	"stellaris/internal/obs/lineage"
 	"stellaris/internal/replay"
 	"stellaris/internal/rng"
 	"stellaris/internal/stale"
@@ -48,6 +49,8 @@ func (r *run) runLockstep(loaded *ckpt.Checkpoint) error {
 			version:   &r.version,
 			state:     r.st,
 			onEpisode: r.noteEpisode,
+			lin:       r.lin,
+			name:      workerName("actor", i, 0),
 		}
 	}
 	lmodels := make([]*algo.Model, opt.Learners)
@@ -115,6 +118,10 @@ func (r *run) runLockstep(loaded *ckpt.Checkpoint) error {
 			if err := lmodels[l].SetWeights(w); err != nil {
 				return err
 			}
+			// Trace identity fixed before the fetch loop so consumed hops
+			// can reference the downstream gradient (see learnerBody).
+			lname := workerName("learner", l, 0)
+			gkey := fmt.Sprintf("grad/%d/%d", l, lseqs[l])
 			var trajs []*replay.Trajectory
 			for _, k := range keys {
 				raw, err := r.paramCli.Get(k)
@@ -124,9 +131,11 @@ func (r *run) runLockstep(loaded *ckpt.Checkpoint) error {
 				tr, err := cache.DecodeTrajectory(raw)
 				if err != nil {
 					r.st.drop(dropDecodeFailed)
+					r.recordShed(k, lineage.KindTrajectory, lname, dropDecodeFailed)
 					continue
 				}
 				trajs = append(trajs, tr)
+				r.recordConsumed(k, gkey, lname)
 				_ = r.paramCli.Delete(k)
 			}
 			if len(trajs) == 0 {
@@ -137,12 +146,17 @@ func (r *run) runLockstep(loaded *ckpt.Checkpoint) error {
 				return err
 			}
 			g := r.alg.Compute(lmodels[l], batch, r.tracker.View(), algo.Extra{}, lrngs[l].Split(uint64(lseqs[l])))
-			gkey := fmt.Sprintf("grad/%d/%d", l, lseqs[l])
 			lseqs[l]++
+			r.recordGradProduced(gkey, lname, born, g.Stats.Truncated)
 			gb, err := cache.EncodeGrad(&cache.GradMsg{
 				LearnerID: l, BornVersion: born, Grad: g.Data,
 				Samples: g.Stats.Samples, MeanRatio: g.Stats.MeanRatio,
 				MinRatio: g.Stats.MinRatio, KL: g.Stats.KL, Entropy: g.Stats.Entropy,
+				Truncated: g.Stats.Truncated,
+				Trace: lineage.Meta{
+					ID: gkey, Kind: lineage.KindGradient,
+					Origin: lname, Parent: lineage.WeightsID(born),
+				},
 			})
 			if err != nil {
 				return err
@@ -178,6 +192,7 @@ func (r *run) runLockstep(loaded *ckpt.Checkpoint) error {
 				Samples:     msg.Samples,
 				MeanRatio:   msg.MeanRatio,
 				KL:          msg.KL,
+				Trace:       msg.Trace.ID,
 			}, v)
 			if group == nil {
 				continue
@@ -188,6 +203,13 @@ func (r *run) runLockstep(loaded *ckpt.Checkpoint) error {
 			r.staleSum += comb.MeanStaleness
 			r.staleN++
 			nv := r.version.Add(1)
+			if r.lin != nil {
+				traces := make([]string, len(group))
+				for i, e := range group {
+					traces[i] = e.Trace
+				}
+				r.recordWeightsProduced(int(nv), traces)
+			}
 			if err := putWeights(r.paramCli, int(nv), r.weights); err != nil {
 				return err
 			}

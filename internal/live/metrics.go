@@ -40,6 +40,7 @@ type liveMetrics struct {
 	ckptWriteSeconds *obs.Histogram  // live_checkpoint_write_seconds
 	ckptLoads        *obs.Counter    // live_checkpoint_loads_total
 	ckptEvents       *obs.CounterVec // live_checkpoint_events_total{event}
+	flightDumps      *obs.CounterVec // live_flight_dumps_total{reason}
 }
 
 func newLiveMetrics(reg *obs.Registry) *liveMetrics {
@@ -76,6 +77,8 @@ func newLiveMetrics(reg *obs.Registry) *liveMetrics {
 			"checkpoints restored at resume"),
 		ckptEvents: reg.CounterVec("live_checkpoint_events_total",
 			"checkpoint lifecycle events (mirror, mirror-failed, write-failed, mirror-corrupt)", "event"),
+		flightDumps: reg.CounterVec("live_flight_dumps_total",
+			"flight-recorder postmortem dumps, by trigger (panic-restart, fail)", "reason"),
 	}
 	// Pre-create the reason children so every exposition shows all four
 	// counters (zero included) — dashboards can tell "no drops" from

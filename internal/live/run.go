@@ -12,6 +12,8 @@ import (
 	"stellaris/internal/ckpt"
 	"stellaris/internal/env"
 	"stellaris/internal/istrunc"
+	"stellaris/internal/obs"
+	"stellaris/internal/obs/lineage"
 	"stellaris/internal/optim"
 	"stellaris/internal/rng"
 	"stellaris/internal/stale"
@@ -25,10 +27,17 @@ type run struct {
 	m   *liveMetrics
 	st  *runState
 
+	// lin is the causal-tracing store (nil without Options.Obs); every
+	// worker, both cache endpoints, and the supervisor record into it.
+	// Its bounded ring doubles as the flight recorder (see flightDump).
+	lin         *lineage.Store
+	flightDumps atomic.Int64
+	flightSeq   atomic.Int64
+
 	srv      *cache.Server
 	addr     string
 	pool     *clientPool
-	dial     func() (*cache.Client, error)
+	dial     func(name string) (*cache.Client, error)
 	paramCli *cache.Client
 
 	template env.Env
@@ -82,6 +91,18 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 		start: time.Now(),
 	}
 
+	// Causal tracing rides on the obs registry: the lineage store shares
+	// its clock (so SetClock swaps propagate), feeds the lineage_*
+	// metric families, and backs /trace.chrome.json via SetTraceSource.
+	if opt.Obs != nil {
+		r.lin = lineage.New(opt.Obs.Now, lineage.Options{
+			Hooks: obs.LineageHooks(opt.Obs, obs.LatencyBuckets),
+		})
+		opt.Obs.SetTraceSource(r.lin)
+		opt.Obs.SetInfo("config_fingerprint", r.fingerprint().Hash())
+		opt.Obs.SetInfo("mode", map[bool]string{true: "lockstep", false: "async"}[opt.Lockstep])
+	}
+
 	// Cache: external or in-process TCP server.
 	r.addr = opt.CacheAddr
 	if r.addr == "" {
@@ -89,6 +110,7 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 		if opt.Obs != nil {
 			r.srv.Instrument(opt.Obs)
 		}
+		r.srv.InstrumentLineage(r.lin)
 		addr, err := r.srv.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, nil, err
@@ -97,14 +119,17 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 	}
 	// One client per worker keeps request streams independent. Every
 	// client shares the run's retry/deadline policy and is registered so
-	// its fault-tolerance counters can be folded into the Report.
+	// its fault-tolerance counters can be folded into the Report; name
+	// labels the client's lineage hops with the owning worker.
 	var dialSeq atomic.Uint64
-	r.dial = func() (*cache.Client, error) {
+	r.dial = func(name string) (*cache.Client, error) {
 		cli, err := cache.DialWith(r.addr, cache.DialOptions{
-			OpTimeout: opt.CacheOpTimeout,
-			Attempts:  opt.CacheAttempts,
-			Seed:      opt.Seed + dialSeq.Add(1),
-			Obs:       opt.Obs,
+			OpTimeout:   opt.CacheOpTimeout,
+			Attempts:    opt.CacheAttempts,
+			Seed:        opt.Seed + dialSeq.Add(1),
+			Obs:         opt.Obs,
+			Lineage:     r.lin,
+			LineageName: name,
 		})
 		if err != nil {
 			return nil, err
@@ -143,7 +168,7 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 	r.agg.UpdatesPerRound = opt.UpdatesPerRound
 	r.agg.MaxQueue = 4 * opt.Learners
 
-	r.paramCli, err = r.dial()
+	r.paramCli, err = r.dial("param")
 	if err != nil {
 		r.close()
 		return nil, nil, err
@@ -164,6 +189,7 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 		}
 	}
 
+	r.recordWeightsProduced(int(r.version.Load()), nil)
 	if err := putWeights(r.paramCli, int(r.version.Load()), r.weights); err != nil {
 		r.close()
 		return nil, nil, err
@@ -185,13 +211,17 @@ func (r *run) close() {
 
 // fail records a fatal worker error AND stops the pipeline: without the
 // stop, Train would wait forever on a parameter worker whose feeders
-// have all died (e.g. the cache going away permanently).
+// have all died (e.g. the cache going away permanently). The first fail
+// also takes a flight-recorder dump so the postmortem ships with the
+// events that preceded it.
 func (r *run) fail(err error) {
 	select {
 	case r.errCh <- err:
 	default:
 	}
-	r.stop.Store(true)
+	if !r.stop.Swap(true) {
+		r.flightDump("fail")
+	}
 }
 
 // noteEpisode folds one finished episode's return into the report state.
@@ -401,6 +431,13 @@ func (r *run) buildReport() *Report {
 		CheckpointsWritten: r.ckptWrites.Load(),
 		Resumed:            r.resumed,
 		ResumedFromVersion: int(r.resumedFrom),
+	}
+	if r.lin != nil {
+		ls := r.lin.Stats()
+		rep.TraceEvents = ls.Events
+		rep.MaxLineageDepth = ls.MaxDepth
+		rep.FlightDumps = r.flightDumps.Load()
+		rep.Lineage = r.lin
 	}
 	if r.opt.Obs != nil {
 		rep.Obs = r.opt.Obs.Snapshot()

@@ -31,7 +31,7 @@ func (r *run) supervise(role string, id int, body func(ready func()) error) {
 		failedAt = time.Time{}
 	}
 	for !r.stop.Load() {
-		err := runGuarded(body, ready)
+		err, panicked := runGuarded(body, ready)
 		if err == nil {
 			return // clean stop
 		}
@@ -43,6 +43,12 @@ func (r *run) supervise(role string, id int, body func(ready func()) error) {
 		}
 		restarts++
 		r.countRestart(role)
+		if panicked {
+			// A crash (as opposed to a mere error) ships with its
+			// postmortem: the flight recorder holds the lineage events that
+			// immediately preceded the panic.
+			r.flightDump("panic-restart")
+		}
 		if restarts > r.opt.RestartBudget {
 			r.fail(fmt.Errorf("live: %s %d: restart budget (%d) exhausted, last error: %w",
 				role, id, r.opt.RestartBudget, err))
@@ -62,15 +68,17 @@ func (r *run) supervise(role string, id int, body func(ready func()) error) {
 }
 
 // runGuarded invokes body, converting a panic into an error so the
-// supervisor can treat crashes and failures uniformly. Deferred cleanup
+// supervisor can treat crashes and failures uniformly (panicked
+// distinguishes the two for flight-recorder purposes). Deferred cleanup
 // inside the body (client Close, etc.) still runs during unwinding.
-func runGuarded(body func(ready func()) error, ready func()) (err error) {
+func runGuarded(body func(ready func()) error, ready func()) (err error, panicked bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("live: worker panic: %v", p)
+			panicked = true
 		}
 	}()
-	return body(ready)
+	return body(ready), false
 }
 
 // countRestart records one supervisor restart for the role.

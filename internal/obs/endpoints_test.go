@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stellaris/internal/obs/lineage"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	b, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(b)
+}
+
+func TestHealthz(t *testing.T) {
+	code, body := get(t, Handler(NewRegistry()), "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetInfo("config_fingerprint", "deadbeefdeadbeef")
+	reg.SetInfo("mode", "lockstep")
+	code, body := get(t, Handler(reg), "/buildinfo")
+	if code != http.StatusOK {
+		t.Fatalf("/buildinfo = %d", code)
+	}
+	var bi BuildInfo
+	if err := json.Unmarshal([]byte(body), &bi); err != nil {
+		t.Fatalf("/buildinfo not JSON: %v\n%s", err, body)
+	}
+	if bi.GoVersion == "" || !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Fatalf("go_version %q", bi.GoVersion)
+	}
+	if bi.Info["config_fingerprint"] != "deadbeefdeadbeef" || bi.Info["mode"] != "lockstep" {
+		t.Fatalf("info map %v", bi.Info)
+	}
+}
+
+func TestTraceChromeEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	h := Handler(reg)
+
+	// 404 until a source registers.
+	if code, _ := get(t, h, "/trace.chrome.json"); code != http.StatusNotFound {
+		t.Fatalf("without a source: %d, want 404", code)
+	}
+
+	lin := lineage.New(reg.Now, lineage.Options{})
+	lin.Record(lineage.Event{Trace: "traj/0/0", Kind: lineage.KindTrajectory, Hop: lineage.HopProduced, Actor: "actor/0#0"})
+	reg.SetTraceSource(lin)
+
+	code, body := get(t, h, "/trace.chrome.json")
+	if code != http.StatusOK {
+		t.Fatalf("with a source: %d", code)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+}
+
+func TestLineageHooksMetrics(t *testing.T) {
+	reg := NewRegistry()
+	lin := lineage.New(reg.Now, lineage.Options{Hooks: LineageHooks(reg, LatencyBuckets)})
+	lin.Record(lineage.Event{Trace: "t", Kind: lineage.KindTrajectory, Hop: lineage.HopProduced})
+	lin.Record(lineage.Event{Trace: "t", Kind: lineage.KindTrajectory, Hop: lineage.HopPut})
+
+	snap := reg.Snapshot()
+	if p, ok := snap.Find("lineage_events_total", map[string]string{"hop": "produced"}); !ok || p.Value != 1 {
+		t.Fatalf("lineage_events_total{hop=produced}: %+v ok=%v", p, ok)
+	}
+	if h, ok := snap.FindHistogram("lineage_stage_seconds", map[string]string{"stage": "produced>put"}); !ok || h.Count != 1 {
+		t.Fatalf("lineage_stage_seconds{stage=produced>put}: %+v ok=%v", h, ok)
+	}
+	if h, ok := snap.FindHistogram("lineage_depth", nil); !ok || h.Count != 1 {
+		t.Fatalf("lineage_depth: %+v ok=%v", h, ok)
+	}
+}

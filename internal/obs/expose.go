@@ -11,6 +11,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -250,11 +252,16 @@ func StartDump(reg *Registry, dir string, every time.Duration, errf func(error))
 
 // Handler serves reg over HTTP:
 //
-//	/metrics       Prometheus text format
-//	/metrics.json  JSON snapshot (Snapshot schema)
-//	/metrics.csv   flat CSV records
-//	/trace.json    recent completed spans
-//	/debug/pprof/  net/http/pprof profiles
+//	/metrics            Prometheus text format
+//	/metrics.json       JSON snapshot (Snapshot schema)
+//	/metrics.csv        flat CSV records
+//	/trace.json         recent completed spans
+//	/trace.chrome.json  Chrome trace-event JSON from the registered
+//	                    TraceSource (404 until one is set) — open in
+//	                    Perfetto (ui.perfetto.dev) or chrome://tracing
+//	/healthz            liveness probe ("ok")
+//	/buildinfo          Go version, VCS revision, registry info map
+//	/debug/pprof/       net/http/pprof profiles
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -275,12 +282,65 @@ func Handler(reg *Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(reg.Tracer().Spans())
 	})
+	mux.HandleFunc("/trace.chrome.json", func(w http.ResponseWriter, _ *http.Request) {
+		ts := reg.TraceSource()
+		if ts == nil {
+			http.Error(w, "no trace source registered", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = ts.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(buildInfo(reg))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// BuildInfo is the /buildinfo payload: toolchain + VCS identity of the
+// running binary (via runtime/debug.ReadBuildInfo — the VCS fields are
+// empty for `go run`/test binaries) plus the registry's static info map
+// (config fingerprint, run mode, …).
+type BuildInfo struct {
+	GoVersion   string            `json:"go_version"`
+	Module      string            `json:"module,omitempty"`
+	VCSRevision string            `json:"vcs_revision,omitempty"`
+	VCSTime     string            `json:"vcs_time,omitempty"`
+	VCSModified bool              `json:"vcs_modified,omitempty"`
+	Info        map[string]string `json:"info,omitempty"`
+}
+
+func buildInfo(reg *Registry) BuildInfo {
+	out := BuildInfo{GoVersion: runtime.Version(), Info: reg.Info()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.GoVersion != "" {
+			out.GoVersion = bi.GoVersion
+		}
+		out.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				out.VCSRevision = s.Value
+			case "vcs.time":
+				out.VCSTime = s.Value
+			case "vcs.modified":
+				out.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return out
 }
 
 // HTTPServer is a running exposition endpoint.

@@ -280,11 +280,13 @@ func (f *family) child(values []string) interface{} {
 // (asking for an existing name returns the existing family, panicking
 // only on a kind/label mismatch, which is a programming error).
 type Registry struct {
-	clock atomic.Value // Clock
+	clock    atomic.Value // Clock
+	traceSrc atomic.Value // TraceSource (see tracesource.go)
 
 	mu    sync.Mutex
 	fams  map[string]*family
 	order []string
+	info  map[string]string // static run metadata for /buildinfo
 
 	tracerOnce sync.Once
 	tracer     *Tracer

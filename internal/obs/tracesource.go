@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"io"
+
+	"stellaris/internal/obs/lineage"
+)
+
+// TraceSource renders a Chrome trace-event JSON document. The lineage
+// store (internal/obs/lineage) implements it; the live run and the DES
+// trainer register theirs with SetTraceSource so Handler can serve
+// /trace.chrome.json without obs depending on either execution mode.
+type TraceSource interface {
+	WriteChromeTrace(w io.Writer) error
+}
+
+// SetTraceSource registers the source behind /trace.chrome.json. Safe
+// to call while the registry is being served; nil is ignored.
+func (r *Registry) SetTraceSource(ts TraceSource) {
+	if ts == nil {
+		return
+	}
+	boxed := new(TraceSource)
+	*boxed = ts
+	r.traceSrc.Store(boxed)
+}
+
+// TraceSource returns the registered source (nil when none).
+func (r *Registry) TraceSource() TraceSource {
+	if p, ok := r.traceSrc.Load().(*TraceSource); ok && p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetInfo attaches a static key/value to the registry (config
+// fingerprint, run mode, …), surfaced on /buildinfo.
+func (r *Registry) SetInfo(key, value string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.info == nil {
+		r.info = make(map[string]string)
+	}
+	r.info[key] = value
+}
+
+// Info returns a copy of the registry's static metadata.
+func (r *Registry) Info() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.info))
+	for k, v := range r.info {
+		out[k] = v
+	}
+	return out
+}
+
+// LineageHooks wires a lineage store's observer callbacks into reg's
+// standard metric families so per-hop counts, inter-hop stage latencies
+// and ancestry depths show up on /metrics alongside everything else:
+//
+//	lineage_events_total{hop}    events recorded per hop name
+//	lineage_stage_seconds{stage} latency between consecutive hops of one
+//	                             artifact ("put>fetched" = cache dwell)
+//	lineage_depth                ancestry depth of produced artifacts
+//
+// stageBuckets picks the stage-latency layout (LatencyBuckets for live
+// wall time, VirtualBuckets for DES virtual time).
+func LineageHooks(reg *Registry, stageBuckets []float64) lineage.Hooks {
+	events := reg.CounterVec("lineage_events_total",
+		"causal-tracing events recorded, by hop", "hop")
+	stages := reg.HistogramVec("lineage_stage_seconds",
+		"latency between consecutive lineage hops of one artifact", stageBuckets, "stage")
+	depth := reg.Histogram("lineage_depth",
+		"ancestry depth of produced artifacts (weights=1, trajectory=2, gradient=3)", CountBuckets)
+	return lineage.Hooks{
+		OnEvent: func(e lineage.Event) { events.With(e.Hop).Inc() },
+		OnStage: func(stage string, dt float64) { stages.With(stage).Observe(dt) },
+		OnDepth: func(d int) { depth.Observe(float64(d)) },
+	}
+}

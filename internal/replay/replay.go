@@ -6,6 +6,7 @@ package replay
 import (
 	"fmt"
 
+	"stellaris/internal/obs/lineage"
 	"stellaris/internal/rng"
 )
 
@@ -38,6 +39,11 @@ type Trajectory struct {
 	// completed within this trajectory (the paper's "episodic reward"
 	// metric).
 	EpisodeReturns []float64
+	// Trace is the causal-tracing context carried across the wire. gob
+	// tolerates its absence in either direction, so payloads from
+	// pre-tracing builds decode (Trace stays zero) and old decoders skip
+	// it.
+	Trace lineage.Meta
 }
 
 // Batch is the flattened multi-trajectory view a learner function trains

@@ -53,6 +53,10 @@ type Invocation struct {
 	// Failed reports that the invocation crashed (failure injection);
 	// its side effects must be discarded and the work retried.
 	Failed bool
+	// CostUSD is this invocation's bill under the paper's model: zero
+	// until completion (the body sees the final value), and zero forever
+	// on serverful pools, which bill wall time rather than invocations.
+	CostUSD float64
 }
 
 // DurationFn computes an invocation's execution time once placement is
@@ -246,7 +250,8 @@ func (p *Platform) start(pl *pool, q queued) {
 			// Billed per resource-second of execution; startup and
 			// keep-alive are free (§VIII-A). Failed invocations are
 			// still billed for the time they ran.
-			pl.cost += duration * pl.cfg.Instance.SlotRate(pl.cfg.SlotsPerInstance)
+			inv.CostUSD = duration * pl.cfg.Instance.SlotRate(pl.cfg.SlotsPerInstance)
+			pl.cost += inv.CostUSD
 		}
 		if inv.Failed {
 			pl.failures++

@@ -30,6 +30,11 @@ type Entry struct {
 	KL float64
 	// Enqueued is the virtual time the gradient reached the queue.
 	Enqueued float64
+	// Trace is the gradient's causal-tracing ID ("grad/<learner>/<seq>"),
+	// carried so the aggregation hop can be attributed to the artifact.
+	// Empty for entries restored from a checkpoint (their pre-crash
+	// lineage lives in the flight-recorder dump, not the new store).
+	Trace string
 }
 
 // Staleness returns the entry's staleness at currentVersion.
