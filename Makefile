@@ -7,7 +7,7 @@ BENCHTIME ?= 100ms
 BENCHPKGS ?= . ./internal/nn ./internal/cache
 FUZZTIME ?= 5s
 
-.PHONY: build test race cover fmt vet lint bench fuzz-short chaos trace-smoke ci
+.PHONY: build test race cover fmt vet lint bench bench-compare fuzz-short chaos trace-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,14 +38,16 @@ vet:
 lint:
 	$(GO) run ./cmd/stellaris-lint ./...
 
-# Crash-recovery suite under the race detector, WITHOUT -short so the
-# heavy drills run too: checkpoint/resume determinism, supervised-worker
-# restarts, durable-cache snapshot+AOF replay, scripted cache
-# kill/restart schedules, and the learner-panic + server-bounce chaos
-# test (see DESIGN.md "Crash recovery").
+# Heavy chaos drills under the race detector, WITHOUT -short: fault
+# proxy at aggressive rates, AOF compaction under concurrent load, and
+# the learner-panic + server-bounce drill (see DESIGN.md "Crash
+# recovery"). The suite is selected by NAME, not a hand-maintained
+# regexp: every testing.Short()-gated drill in these packages must be
+# called TestChaos* — stellaris-lint's chaosname check enforces it, so
+# a new drill cannot silently miss this target. The fast
+# recovery/resume tests run in `make race` already.
 chaos:
-	$(GO) test -race -count=1 \
-		-run 'Chaos|Resume|Supervisor|Lockstep|Recovery|Persist|FaultProxy|FrameParser|Checkpoint|WriteDir|LoadLatest|SaveLoad|Fingerprint|Decode' \
+	$(GO) test -race -count=1 -run '^TestChaos' \
 		./internal/live ./internal/cache ./internal/ckpt
 
 # Causal-tracing smoke: short lockstep + DES runs must reconstruct at
@@ -62,6 +64,7 @@ trace-smoke:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzCodecRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/cache
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/cache
+	$(GO) test -run '^$$' -fuzz '^FuzzBinCodecRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/cache
 
 # Quick benchmark sweep over the hot-path packages. BENCH_live.txt is
 # benchstat-compatible; BENCH_live.json is the same results as JSON (via
@@ -69,5 +72,16 @@ fuzz-short:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) $(BENCHPKGS) | tee BENCH_live.txt
 	$(GO) run ./cmd/bench2json -o BENCH_live.json < BENCH_live.txt
+
+# Allocation-regression gate: rerun the sweep into BENCH_new.json (the
+# committed BENCH_live.json baseline is never overwritten) and fail if
+# any benchmark's B/op or allocs/op grew more than MAX_REGRESS vs the
+# baseline. ns/op deltas are printed but informational — CI wall time
+# is too noisy to gate on.
+MAX_REGRESS ?= 20%
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) $(BENCHPKGS) | tee BENCH_new.txt
+	$(GO) run ./cmd/bench2json -o BENCH_new.json < BENCH_new.txt
+	$(GO) run ./cmd/bench2json -compare BENCH_live.json BENCH_new.json -max-regress $(MAX_REGRESS)
 
 ci: build fmt vet lint race cover

@@ -72,10 +72,176 @@ func parse(r io.Reader) ([]Record, error) {
 	return out, sc.Err()
 }
 
+// normName strips the trailing GOMAXPROCS suffix ("-8") so results from
+// machines with different core counts still pair up.
+func normName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parsePercent accepts "20%", "20", or "0.2%" and returns a fraction
+// (0.20). Bare numbers are read as percentages, matching -max-regress 20.
+func parsePercent(s string) (float64, error) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad percentage %q", s)
+	}
+	return v / 100, nil
+}
+
+func loadRecords(path string) (map[string]Record, []string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(b, &recs); err != nil {
+		return nil, nil, fmt.Errorf("%s is not a benchmark JSON array: %v", path, err)
+	}
+	m := make(map[string]Record, len(recs))
+	var order []string
+	for _, r := range recs {
+		key := r.Pkg + " " + normName(r.Name)
+		if _, dup := m[key]; !dup {
+			order = append(order, key)
+		}
+		m[key] = r
+	}
+	return m, order, nil
+}
+
+// gatedMetrics regress the build when they grow past -max-regress;
+// ns/op is reported but informational (CI machines are too noisy to
+// gate on wall time).
+var gatedMetrics = []string{"B/op", "allocs/op"}
+
+// compare prints a benchstat-style delta table for oldPath vs newPath
+// and returns the benchmarks whose gated metrics regressed beyond
+// maxRegress (a fraction, e.g. 0.20 for 20%).
+func compare(w io.Writer, oldPath, newPath string, maxRegress float64) ([]string, error) {
+	oldRecs, _, err := loadRecords(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newRecs, newOrder, err := loadRecords(newPath)
+	if err != nil {
+		return nil, err
+	}
+
+	var offenders []string
+	for _, metric := range []string{"B/op", "allocs/op", "ns/op"} {
+		gated := false
+		for _, g := range gatedMetrics {
+			if g == metric {
+				gated = true
+			}
+		}
+		note := "informational"
+		if gated {
+			note = fmt.Sprintf("gate: +%.1f%%", maxRegress*100)
+		}
+		fmt.Fprintf(w, "\n%s (%s)\n", metric, note)
+		fmt.Fprintf(w, "%-44s %16s %16s %9s\n", "benchmark", "old", "new", "delta")
+		for _, key := range newOrder {
+			nr := newRecs[key]
+			nv, ok := nr.Metrics[metric]
+			if !ok {
+				continue
+			}
+			name := normName(nr.Name)
+			or, ok := oldRecs[key]
+			if !ok {
+				fmt.Fprintf(w, "%-44s %16s %16.0f %9s\n", name, "(new)", nv, "-")
+				continue
+			}
+			ov, ok := or.Metrics[metric]
+			if !ok {
+				continue
+			}
+			var delta float64
+			switch {
+			case ov != 0:
+				delta = (nv - ov) / ov
+			case nv != 0:
+				delta = 1 // 0 -> nonzero: treat as +100%
+			}
+			mark := ""
+			if gated && delta > maxRegress {
+				mark = "  << REGRESSION"
+				offenders = append(offenders, fmt.Sprintf("%s %s: %s %.0f -> %.0f (%+.1f%%, limit +%.1f%%)",
+					nr.Pkg, name, metric, ov, nv, delta*100, maxRegress*100))
+			}
+			fmt.Fprintf(w, "%-44s %16.0f %16.0f %+8.1f%%%s\n", name, ov, nv, delta*100, mark)
+		}
+		for key, or := range oldRecs {
+			if _, ok := newRecs[key]; !ok {
+				if _, has := or.Metrics[metric]; has && metric == "ns/op" {
+					fmt.Fprintf(w, "%-44s %16s %16s %9s\n", normName(or.Name), "(gone)", "-", "-")
+				}
+			}
+		}
+	}
+	return offenders, nil
+}
+
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
 	check := flag.String("check", "", "validate an existing JSON artifact: fail unless it holds >= 1 record")
+	doCompare := flag.Bool("compare", false, "compare two JSON artifacts: bench2json -compare old.json new.json [-max-regress 20%]")
+	maxRegress := flag.String("max-regress", "20%", "allowed B/op and allocs/op growth before -compare fails")
 	flag.Parse()
+
+	if *doCompare {
+		// flag parsing stops at the first positional, so a trailing
+		// "-max-regress 20%" (the documented invocation order) lands in
+		// flag.Args(); pick it out alongside the two paths.
+		var paths []string
+		args := flag.Args()
+		for i := 0; i < len(args); i++ {
+			a := args[i]
+			switch {
+			case a == "-max-regress" || a == "--max-regress":
+				if i+1 >= len(args) {
+					fmt.Fprintln(os.Stderr, "bench2json: -max-regress needs a value")
+					os.Exit(2)
+				}
+				i++
+				*maxRegress = args[i]
+			case strings.HasPrefix(a, "-max-regress=") || strings.HasPrefix(a, "--max-regress="):
+				*maxRegress = a[strings.Index(a, "=")+1:]
+			default:
+				paths = append(paths, a)
+			}
+		}
+		if len(paths) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench2json -compare old.json new.json [-max-regress 20%]")
+			os.Exit(2)
+		}
+		frac, err := parsePercent(*maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(2)
+		}
+		offenders, err := compare(os.Stdout, paths[0], paths[1], frac)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench2json:", err)
+			os.Exit(1)
+		}
+		if len(offenders) > 0 {
+			fmt.Fprintf(os.Stderr, "\nbench2json: %d benchmark(s) regressed beyond the allocation gate:\n", len(offenders))
+			for _, o := range offenders {
+				fmt.Fprintln(os.Stderr, "  "+o)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "\nbench2json: allocation gate passed")
+		return
+	}
 
 	if *check != "" {
 		b, err := os.ReadFile(*check)

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -45,5 +48,118 @@ func TestParseIgnoresNonResults(t *testing.T) {
 	}
 	if len(recs) != 0 {
 		t.Fatalf("parsed %d records from noise", len(recs))
+	}
+}
+
+func TestNormName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkForward-8":  "BenchmarkForward",
+		"BenchmarkForward-16": "BenchmarkForward",
+		"BenchmarkForward":    "BenchmarkForward",
+		"BenchmarkPut-N":      "BenchmarkPut-N",
+	} {
+		if got := normName(in); got != want {
+			t.Errorf("normName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParsePercent(t *testing.T) {
+	for in, want := range map[string]float64{
+		"20%": 0.20, "20": 0.20, " 5% ": 0.05, "0": 0,
+	} {
+		got, err := parsePercent(in)
+		if err != nil || got != want {
+			t.Errorf("parsePercent(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parsePercent("abc"); err == nil {
+		t.Error("parsePercent accepted garbage")
+	}
+	if _, err := parsePercent("-5%"); err == nil {
+		t.Error("parsePercent accepted a negative threshold")
+	}
+}
+
+func writeBenchJSON(t *testing.T, dir, name string, recs []Record) string {
+	t.Helper()
+	b, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompareGatesAllocRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBenchJSON(t, dir, "old.json", []Record{
+		{Pkg: "p", Name: "BenchmarkA-8", Runs: 10, Metrics: map[string]float64{"B/op": 1000, "allocs/op": 100, "ns/op": 50}},
+		{Pkg: "p", Name: "BenchmarkB-8", Runs: 10, Metrics: map[string]float64{"B/op": 1000, "allocs/op": 100, "ns/op": 50}},
+	})
+	// A improves; B regresses allocs/op by 50%. Different -cpu suffix must
+	// still pair with the old records.
+	newP := writeBenchJSON(t, dir, "new.json", []Record{
+		{Pkg: "p", Name: "BenchmarkA-16", Runs: 10, Metrics: map[string]float64{"B/op": 400, "allocs/op": 40, "ns/op": 500}},
+		{Pkg: "p", Name: "BenchmarkB-16", Runs: 10, Metrics: map[string]float64{"B/op": 1000, "allocs/op": 150, "ns/op": 50}},
+	})
+
+	var sb strings.Builder
+	offenders, err := compare(&sb, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 1 || !strings.Contains(offenders[0], "BenchmarkB") || !strings.Contains(offenders[0], "allocs/op") {
+		t.Fatalf("offenders = %v, want exactly BenchmarkB allocs/op", offenders)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("table does not flag the regression:\n%s", out)
+	}
+	// ns/op blew up 10x on A but is informational: no offender recorded.
+	if strings.Contains(out, "ns/op (gate") {
+		t.Fatalf("ns/op must not be gated:\n%s", out)
+	}
+	if !strings.Contains(out, "-60.0%") {
+		t.Fatalf("improvement delta missing from table:\n%s", out)
+	}
+}
+
+func TestCompareToleratesMissingAndNewBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBenchJSON(t, dir, "old.json", []Record{
+		{Pkg: "p", Name: "BenchmarkGone-8", Runs: 1, Metrics: map[string]float64{"B/op": 1, "ns/op": 1}},
+	})
+	newP := writeBenchJSON(t, dir, "new.json", []Record{
+		{Pkg: "p", Name: "BenchmarkFresh-8", Runs: 1, Metrics: map[string]float64{"B/op": 1, "ns/op": 1}},
+	})
+	var sb strings.Builder
+	offenders, err := compare(&sb, oldP, newP, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 0 {
+		t.Fatalf("added/removed benchmarks must not gate: %v", offenders)
+	}
+	if !strings.Contains(sb.String(), "(new)") || !strings.Contains(sb.String(), "(gone)") {
+		t.Fatalf("table should note added and removed benchmarks:\n%s", sb.String())
+	}
+}
+
+func TestCompareExactMatchWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	recs := []Record{{Pkg: "p", Name: "BenchmarkSame-8", Runs: 1, Metrics: map[string]float64{"B/op": 500, "allocs/op": 5, "ns/op": 9}}}
+	oldP := writeBenchJSON(t, dir, "old.json", recs)
+	newP := writeBenchJSON(t, dir, "new.json", recs)
+	var sb strings.Builder
+	offenders, err := compare(&sb, oldP, newP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) != 0 {
+		t.Fatalf("identical results must pass a 0%% gate: %v", offenders)
 	}
 }

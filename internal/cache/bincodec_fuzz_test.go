@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"math"
+	"testing"
+
+	"stellaris/internal/obs/lineage"
+	"stellaris/internal/replay"
+)
+
+// FuzzBinCodecRoundTrip targets the binary payload codec (bincodec.go,
+// delta.go) specifically, complementing FuzzCodecRoundTrip which runs
+// whatever codec is the default:
+//
+//  1. Adversarial decode — raw fuzz bytes, and the same bytes grafted
+//     behind each valid binary header (so inputs reach past the magic
+//     and kind gates), are fed to every Decode* entry point plus
+//     DecodeDelta. All must reject garbage with an error, never panic
+//     and never allocate past the slab guards.
+//  2. Structured round trip — a DeltaMsg and a Trajectory derived from
+//     the input must survive encode → decode bit-for-bit, in both the
+//     sparse and dense delta representations and both trajectory
+//     layouts (homogeneous column slabs and heterogeneous records).
+//
+// Guarded by testing.Short so `make race` stays fast; `make
+// fuzz-short` explores new inputs.
+func FuzzBinCodecRoundTrip(f *testing.F) {
+	if testing.Short() {
+		f.Skip("binary codec fuzz corpus replay skipped in -short")
+	}
+
+	// Seeds: every payload kind in its binary encoding, plus truncated
+	// and bit-flipped variants.
+	f.Add([]byte{})
+	f.Add([]byte("SLB1"))             // magic only, truncated header
+	f.Add([]byte("SLB1\x05\x01\x00")) // unknown kind, short
+	if b, err := EncodeWeightsWith(CodecBinary, &WeightsMsg{
+		Version: 9, Weights: []float64{1, -2.5, math.Pi},
+		Trace: lineage.Meta{ID: "w/9", Kind: lineage.KindWeights, Origin: "param"},
+	}); err == nil {
+		f.Add(b)
+		corrupt := append([]byte(nil), b...)
+		corrupt[len(corrupt)/2] ^= 0x20
+		f.Add(corrupt)
+	}
+	if b, err := EncodeGradWith(CodecBinary, &GradMsg{
+		LearnerID: 2, BornVersion: 4, Grad: []float64{0.5}, Samples: 8,
+		MeanRatio: 1.0, MinRatio: 0.9, KL: 0.01, Entropy: 1.1,
+	}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeTrajectoryWith(CodecBinary, &replay.Trajectory{
+		ActorID: 1, PolicyVersion: 3,
+		Steps: []replay.Step{
+			{Obs: []float64{1, 2}, Action: []float64{0}, Reward: 1, Done: true, LogProb: -0.5, DistParams: []float64{0.3}},
+			{Obs: []float64{3, 4}, Action: []float64{1}, Reward: 0, LogProb: -0.1, DistParams: []float64{0.7}},
+		},
+		EpisodeReturns: []float64{4},
+	}); err == nil {
+		f.Add(b)
+	}
+	if d, err := BuildDelta(5, 4, []float64{1, 2, 3, 4}, []float64{1, 9, 3, 4}); err == nil {
+		if b, err := EncodeDelta(d); err == nil {
+			f.Add(b)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// 1. No decoder may panic, on the raw input or on the input
+		// spliced behind each structurally valid header.
+		adversarial := [][]byte{data}
+		for kind := byte(1); kind <= 4; kind++ {
+			hdr := appendBinHeader(nil, kind, 0)
+			adversarial = append(adversarial, append(hdr, data...))
+		}
+		for _, in := range adversarial {
+			if w, err := DecodeWeights(in); err == nil && w == nil {
+				t.Fatal("DecodeWeights: nil message without error")
+			}
+			if g, err := DecodeGrad(in); err == nil && g == nil {
+				t.Fatal("DecodeGrad: nil message without error")
+			}
+			if tr, err := DecodeTrajectory(in); err == nil && tr == nil {
+				t.Fatal("DecodeTrajectory: nil trajectory without error")
+			}
+			if d, err := DecodeDelta(in); err == nil && d == nil {
+				t.Fatal("DecodeDelta: nil delta without error")
+			}
+		}
+
+		// 2. Deltas derived from the input round-trip bit-for-bit and
+		// reconstruct the exact next vector.
+		base := floatsFromBytes(data, 128)
+		next := append([]float64(nil), base...)
+		for i := range next {
+			if i%3 == 0 {
+				next[i] += 1
+			}
+		}
+		d, err := BuildDelta(2, 1, base, next)
+		if err != nil {
+			t.Fatalf("BuildDelta: %v", err)
+		}
+		db, err := EncodeDelta(d)
+		if err != nil {
+			t.Fatalf("EncodeDelta: %v", err)
+		}
+		d2, err := DecodeDelta(db)
+		if err != nil {
+			t.Fatalf("DecodeDelta(EncodeDelta): %v", err)
+		}
+		if d2.Version != d.Version || d2.BaseVersion != d.BaseVersion || d2.Len != d.Len || d2.Dense() != d.Dense() {
+			t.Fatalf("delta round trip mismatch: %+v != %+v", d2, d)
+		}
+		got := append([]float64(nil), base...)
+		if err := d2.Apply(got); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		if !float64sEqual(got, next) {
+			t.Fatalf("delta reconstruction mismatch: %v != %v", got, next)
+		}
+
+		// 3. Trajectories round-trip through the binary codec in both
+		// layouts: homogeneous dims (column slabs) when the input length
+		// is even, ragged dims (per-step records) otherwise.
+		traj := trajFromBytes(data)
+		tb, err := EncodeTrajectoryWith(CodecBinary, traj)
+		if err != nil {
+			t.Fatalf("EncodeTrajectoryWith: %v", err)
+		}
+		tr2, err := DecodeTrajectory(tb)
+		if err != nil {
+			t.Fatalf("DecodeTrajectory(EncodeTrajectoryWith): %v", err)
+		}
+		if tr2.ActorID != traj.ActorID || tr2.PolicyVersion != traj.PolicyVersion ||
+			len(tr2.Steps) != len(traj.Steps) || !float64sEqual(tr2.EpisodeReturns, traj.EpisodeReturns) {
+			t.Fatalf("trajectory round trip mismatch: %+v != %+v", tr2, traj)
+		}
+		for i := range traj.Steps {
+			a, b := &traj.Steps[i], &tr2.Steps[i]
+			if !float64sEqual(a.Obs, b.Obs) || !float64sEqual(a.Action, b.Action) ||
+				!sameFloat(a.Reward, b.Reward) || a.Done != b.Done ||
+				!sameFloat(a.LogProb, b.LogProb) || !float64sEqual(a.DistParams, b.DistParams) {
+				t.Fatalf("step %d mismatch: %+v != %+v", i, b, a)
+			}
+		}
+	})
+}
+
+// trajFromBytes deterministically builds a small Trajectory from fuzz
+// input. Even input lengths produce homogeneous per-step dims (the
+// column-slab wire layout); odd lengths produce ragged dims (the
+// per-step record layout).
+func trajFromBytes(data []byte) *replay.Trajectory {
+	traj := &replay.Trajectory{ActorID: len(data) % 7, PolicyVersion: len(data) % 11}
+	vals := floatsFromBytes(data, 64)
+	homogeneous := len(data)%2 == 0
+	steps := len(vals)/4 + 1
+	if steps > 8 {
+		steps = 8
+	}
+	at := func(i int) float64 {
+		if len(vals) == 0 {
+			return 0.5
+		}
+		return vals[i%len(vals)]
+	}
+	for s := 0; s < steps; s++ {
+		obsDim, dpDim := 3, 2
+		if !homogeneous {
+			obsDim, dpDim = 1+s%3, 1+s%2
+		}
+		st := replay.Step{
+			Reward:  at(4 * s),
+			Done:    s == steps-1,
+			LogProb: at(4*s + 1),
+		}
+		for i := 0; i < obsDim; i++ {
+			st.Obs = append(st.Obs, at(4*s+2+i))
+		}
+		st.Action = []float64{at(4*s + 3)}
+		for i := 0; i < dpDim; i++ {
+			st.DistParams = append(st.DistParams, at(4*s+5+i))
+		}
+		traj.Steps = append(traj.Steps, st)
+	}
+	traj.EpisodeReturns = []float64{at(0) + at(1)}
+	return traj
+}

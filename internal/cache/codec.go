@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync/atomic"
 
 	"stellaris/internal/obs/lineage"
 	"stellaris/internal/replay"
@@ -12,8 +13,57 @@ import (
 // The cache stores three structured payload families, mirroring the
 // paper's Redis usage: trajectory sample batches (actors → learners),
 // gradients (learners → parameter function), and policy weight vectors
-// (parameter function → everyone). gob plays the role Pickle plays in
-// the paper's implementation.
+// (parameter function → everyone). The default codec is the hand-rolled
+// binary format in bincodec.go; gob — which plays the role Pickle plays
+// in the paper's implementation — remains as a fallback for
+// interoperating with old builds. Decoders sniff the payload magic, so
+// both formats decode regardless of the configured encoder.
+
+// Codec selects the wire encoding for cache payloads.
+type Codec int
+
+const (
+	// CodecBinary is the hand-rolled binary format (default).
+	CodecBinary Codec = iota
+	// CodecGob is the legacy gob encoding, kept for cross-version
+	// interop with pre-binary builds.
+	CodecGob
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case CodecBinary:
+		return "binary"
+	case CodecGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("Codec(%d)", int(c))
+	}
+}
+
+// ParseCodec maps a -codec flag value to a Codec. The empty string
+// selects the default (binary).
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "binary":
+		return CodecBinary, nil
+	case "gob":
+		return CodecGob, nil
+	default:
+		return 0, fmt.Errorf("cache: unknown codec %q (want binary or gob)", s)
+	}
+}
+
+// defaultCodec is the process-wide encoder used by the plain Encode*
+// functions; cmd binaries set it from their -codec flag.
+var defaultCodec atomic.Int32
+
+// SetDefaultCodec changes the process-wide default encoder.
+func SetDefaultCodec(c Codec) { defaultCodec.Store(int32(c)) }
+
+// DefaultCodec returns the process-wide default encoder.
+func DefaultCodec() Codec { return Codec(defaultCodec.Load()) }
 
 // WeightsMsg is a versioned policy weight vector.
 type WeightsMsg struct {
@@ -49,11 +99,27 @@ type GradMsg struct {
 	Trace lineage.Meta
 }
 
-// EncodeTrajectory gob-encodes a trajectory.
-func EncodeTrajectory(t *replay.Trajectory) ([]byte, error) { return encode(t) }
+// EncodeTrajectory encodes a trajectory with the default codec.
+// Binary-encoded buffers may be returned to the frame pool with
+// Recycle once handed off.
+func EncodeTrajectory(t *replay.Trajectory) ([]byte, error) {
+	return EncodeTrajectoryWith(DefaultCodec(), t)
+}
 
-// DecodeTrajectory decodes a trajectory payload.
+// EncodeTrajectoryWith encodes a trajectory with an explicit codec.
+func EncodeTrajectoryWith(c Codec, t *replay.Trajectory) ([]byte, error) {
+	if c == CodecGob {
+		return encode(t)
+	}
+	return appendTrajectoryBin(t), nil
+}
+
+// DecodeTrajectory decodes a trajectory payload in either wire format,
+// sniffing the binary magic.
 func DecodeTrajectory(b []byte) (*replay.Trajectory, error) {
+	if IsBinaryPayload(b) {
+		return decodeTrajectoryBin(b)
+	}
 	var t replay.Trajectory
 	if err := decode(b, &t); err != nil {
 		return nil, err
@@ -61,11 +127,24 @@ func DecodeTrajectory(b []byte) (*replay.Trajectory, error) {
 	return &t, nil
 }
 
-// EncodeWeights gob-encodes a weight message.
-func EncodeWeights(w *WeightsMsg) ([]byte, error) { return encode(w) }
+// EncodeWeights encodes a weight message with the default codec.
+func EncodeWeights(w *WeightsMsg) ([]byte, error) {
+	return EncodeWeightsWith(DefaultCodec(), w)
+}
 
-// DecodeWeights decodes a weight payload.
+// EncodeWeightsWith encodes a weight message with an explicit codec.
+func EncodeWeightsWith(c Codec, w *WeightsMsg) ([]byte, error) {
+	if c == CodecGob {
+		return encode(w)
+	}
+	return appendWeightsBin(w), nil
+}
+
+// DecodeWeights decodes a weight payload in either wire format.
 func DecodeWeights(b []byte) (*WeightsMsg, error) {
+	if IsBinaryPayload(b) {
+		return decodeWeightsBin(b)
+	}
 	var w WeightsMsg
 	if err := decode(b, &w); err != nil {
 		return nil, err
@@ -73,11 +152,24 @@ func DecodeWeights(b []byte) (*WeightsMsg, error) {
 	return &w, nil
 }
 
-// EncodeGrad gob-encodes a gradient message.
-func EncodeGrad(g *GradMsg) ([]byte, error) { return encode(g) }
+// EncodeGrad encodes a gradient message with the default codec.
+func EncodeGrad(g *GradMsg) ([]byte, error) {
+	return EncodeGradWith(DefaultCodec(), g)
+}
 
-// DecodeGrad decodes a gradient payload.
+// EncodeGradWith encodes a gradient message with an explicit codec.
+func EncodeGradWith(c Codec, g *GradMsg) ([]byte, error) {
+	if c == CodecGob {
+		return encode(g)
+	}
+	return appendGradBin(g), nil
+}
+
+// DecodeGrad decodes a gradient payload in either wire format.
 func DecodeGrad(b []byte) (*GradMsg, error) {
+	if IsBinaryPayload(b) {
+		return decodeGradBin(b)
+	}
 	var g GradMsg
 	if err := decode(b, &g); err != nil {
 		return nil, err

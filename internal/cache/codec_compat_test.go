@@ -85,10 +85,14 @@ func TestCodecDecodesLegacyPayloads(t *testing.T) {
 	}
 }
 
+// TestLegacyDecodersSkipTrace pins the gob fallback's interop promise:
+// a payload encoded with CodecGob — what a negotiated connection sends
+// an old peer — must decode on a pre-tracing build, with the Trace
+// field silently skipped.
 func TestLegacyDecodersSkipTrace(t *testing.T) {
 	meta := lineage.Meta{ID: "grad/0/0", Kind: lineage.KindGradient, Origin: "learner/0#0", Parent: "weights/3"}
 
-	wb, err := EncodeWeights(&WeightsMsg{Version: 9, Weights: []float64{3}, Trace: lineage.Meta{ID: "weights/9", Kind: lineage.KindWeights}})
+	wb, err := EncodeWeightsWith(CodecGob, &WeightsMsg{Version: 9, Weights: []float64{3}, Trace: lineage.Meta{ID: "weights/9", Kind: lineage.KindWeights}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +104,7 @@ func TestLegacyDecodersSkipTrace(t *testing.T) {
 		t.Fatalf("old client decoded wrong: %+v", lw)
 	}
 
-	gb, err := EncodeGrad(&GradMsg{LearnerID: 2, BornVersion: 3, Grad: []float64{1}, Truncated: 4, Trace: meta})
+	gb, err := EncodeGradWith(CodecGob, &GradMsg{LearnerID: 2, BornVersion: 3, Grad: []float64{1}, Truncated: 4, Trace: meta})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +116,7 @@ func TestLegacyDecodersSkipTrace(t *testing.T) {
 		t.Fatalf("old client decoded wrong: %+v", lg)
 	}
 
-	tb, err := EncodeTrajectory(&replay.Trajectory{
+	tb, err := EncodeTrajectoryWith(CodecGob, &replay.Trajectory{
 		ActorID: 5, PolicyVersion: 6,
 		Steps: []replay.Step{{Obs: []float64{1}, Action: []float64{0}}},
 		Trace: lineage.Meta{ID: "traj/5/0", Kind: lineage.KindTrajectory},

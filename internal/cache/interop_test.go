@@ -1,0 +1,332 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"stellaris/internal/replay"
+)
+
+// gobDecodeInto plays the old build's decoder: a plain gob decode into
+// a frozen legacy shape, with no magic sniffing in front of it.
+func gobDecodeInto(b []byte, v interface{}) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// These tests pin the two rolling-upgrade directions of the codec
+// migration (DESIGN.md "Wire format": negotiation) plus the durable
+// log's mid-run upgrade path. "Old" peers are simulated with the
+// pieces a pre-binary build actually had: forced-gob payload encoding
+// on the client side, and a server that answers '!' to every op byte
+// it does not know (batch 'p'/'g' and hello 'V' included).
+
+// TestInteropLegacyClientNewServer: a gob-pinned client (standing in
+// for an old build) writes all three payload families through a
+// current server; a modern client must read every one back via codec
+// sniffing, and payloads the modern client writes as gob-compatible
+// fallback must decode with the frozen legacy decoders.
+func TestInteropLegacyClientNewServer(t *testing.T) {
+	srv := NewServer(nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	oldCli, err := DialWith(addr, DialOptions{PayloadCodec: CodecGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldCli.Close()
+	newCli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newCli.Close()
+
+	if got := oldCli.PayloadCodec(); got != CodecGob {
+		t.Fatalf("gob-pinned client reports codec %v", got)
+	}
+
+	// Old writer -> new reader, all three payload kinds.
+	w := &WeightsMsg{Version: 3, Weights: []float64{1, 2.5, -3}}
+	wb, err := EncodeWeightsWith(oldCli.PayloadCodec(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsBinaryPayload(wb) {
+		t.Fatal("gob-pinned client produced a binary payload")
+	}
+	if err := oldCli.Put("weights/latest", wb); err != nil {
+		t.Fatal(err)
+	}
+	g := &GradMsg{LearnerID: 1, BornVersion: 3, Grad: []float64{0.5}, Samples: 16, MeanRatio: 1, MinRatio: 1, KL: 0, Entropy: 1}
+	gb, err := EncodeGradWith(oldCli.PayloadCodec(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oldCli.Put("grad/1/0", gb); err != nil {
+		t.Fatal(err)
+	}
+	traj := &replay.Trajectory{ActorID: 1, PolicyVersion: 3, Steps: []replay.Step{{Obs: []float64{1}, Action: []float64{0}, Reward: 1, Done: true, LogProb: -0.5, DistParams: []float64{1}}}}
+	tb, err := EncodeTrajectoryWith(oldCli.PayloadCodec(), traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oldCli.Put("traj/1/0", tb); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := newCli.Get("weights/latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := DecodeWeights(raw)
+	if err != nil || w2.Version != 3 || len(w2.Weights) != 3 {
+		t.Fatalf("new reader on old weights: %+v, %v", w2, err)
+	}
+	raw, err = newCli.Get("grad/1/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2, err := DecodeGrad(raw); err != nil || g2.BornVersion != 3 {
+		t.Fatalf("new reader on old grad: %+v, %v", g2, err)
+	}
+	raw, err = newCli.Get("traj/1/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2, err := DecodeTrajectory(raw); err != nil || len(t2.Steps) != 1 {
+		t.Fatalf("new reader on old trajectory: %+v, %v", t2, err)
+	}
+
+	// New writer in fallback mode -> frozen legacy decoder (the other
+	// rolling-upgrade direction: the old build reads what a downgraded
+	// new build wrote).
+	nb, err := EncodeWeightsWith(CodecGob, &WeightsMsg{Version: 4, Weights: []float64{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := newCli.Put("weights/next", nb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = oldCli.Get("weights/next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy legacyWeightsMsg
+	if err := gobDecodeInto(raw, &legacy); err != nil {
+		t.Fatalf("legacy decoder on fallback payload: %v", err)
+	}
+	if legacy.Version != 4 || len(legacy.Weights) != 1 || legacy.Weights[0] != 9 {
+		t.Fatalf("legacy decode mismatch: %+v", legacy)
+	}
+}
+
+// legacyServer mimics a pre-batch build's cache server: it speaks the
+// frame protocol but only knows the original single-key ops and
+// answers '!' to anything newer, exactly like Server.handle's default
+// arm did before 'p'/'g'/'V' existed.
+type legacyServer struct {
+	ln net.Listener
+
+	mu sync.Mutex
+	kv map[string][]byte
+}
+
+func startLegacyServer(t *testing.T) (string, *legacyServer) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &legacyServer{ln: ln, kv: make(map[string][]byte)}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String(), s
+}
+
+func (s *legacyServer) serve(conn net.Conn) {
+	defer conn.Close()
+	for {
+		fr, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				_ = writeResp(conn, '!', []byte(err.Error()))
+			}
+			return
+		}
+		s.mu.Lock()
+		var status byte = '+'
+		var payload []byte
+		switch fr.op {
+		case 'P':
+			s.kv[fr.key] = append([]byte(nil), fr.value...)
+		case 'G':
+			if v, ok := s.kv[fr.key]; ok {
+				payload = v
+			} else {
+				status = '-'
+			}
+		case 'D':
+			delete(s.kv, fr.key)
+		default:
+			status = '!'
+			payload = []byte("unknown op")
+		}
+		s.mu.Unlock()
+		if err := writeResp(conn, status, payload); err != nil {
+			return
+		}
+	}
+}
+
+// TestInteropNewClientLegacyServer: a current client against the
+// legacy server must (a) survive the '!' answers to its batch ops by
+// falling back to per-key loops, (b) mark the peer legacy so
+// PayloadCodec degrades to gob, and (c) still round-trip payloads that
+// a frozen legacy decoder can read.
+func TestInteropNewClientLegacyServer(t *testing.T) {
+	addr, _ := startLegacyServer(t)
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	kvs := make([]KV, 3)
+	for i := range kvs {
+		b, err := EncodeWeightsWith(cli.PayloadCodec(), &WeightsMsg{Version: i, Weights: []float64{float64(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kvs[i] = KV{Key: WeightsDeltaKey(i), Val: b}
+	}
+	if err := cli.PutN(kvs); err != nil {
+		t.Fatalf("PutN against legacy server: %v", err)
+	}
+	if got := cli.PayloadCodec(); got != CodecGob {
+		t.Fatalf("client did not degrade to gob after legacy '!': %v", got)
+	}
+	keys := []string{WeightsDeltaKey(0), WeightsDeltaKey(1), WeightsDeltaKey(2), "missing"}
+	vals, err := cli.GetN(keys)
+	if err != nil {
+		t.Fatalf("GetN against legacy server: %v", err)
+	}
+	if len(vals) != 4 || vals[3] != nil {
+		t.Fatalf("GetN fallback shape wrong: %d vals, missing=%v", len(vals), vals[3])
+	}
+	for i := 0; i < 3; i++ {
+		var legacy legacyWeightsMsg
+		if err := gobDecodeInto(vals[i], &legacy); err != nil {
+			t.Fatalf("payload %d not readable by a legacy decoder: %v", i, err)
+		}
+		if legacy.Version != i {
+			t.Fatalf("payload %d round trip: got version %d", i, legacy.Version)
+		}
+	}
+}
+
+// TestInteropPersistMixedCodecLog simulates a mid-run upgrade under a
+// durable cache: a gob-era process writes payloads and exits, the
+// upgraded binary-codec process appends more, and after one further
+// restart every payload — whichever era wrote it — must decode.
+func TestInteropPersistMixedCodecLog(t *testing.T) {
+	dir := t.TempDir()
+
+	c, err := NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(key string, codec Codec, version int) {
+		t.Helper()
+		b, err := EncodeWeightsWith(codec, &WeightsMsg{Version: version, Weights: []float64{float64(version), -1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(key, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("weights/v1", CodecGob, 1)
+	tb, err := EncodeTrajectoryWith(CodecGob, &replay.Trajectory{ActorID: 2, PolicyVersion: 1, Steps: []replay.Step{{Obs: []float64{1}, Action: []float64{1}, Reward: 1, Done: true, LogProb: -1, DistParams: []float64{1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("traj/old", tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upgrade: reopen the same log and append binary-era payloads.
+	c, err = NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put("weights/v2", CodecBinary, 2)
+	d, err := BuildDelta(3, 2, []float64{2, -1}, []float64{3, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := EncodeDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(WeightsDeltaKey(3), db); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Final restart: the replayed keyspace holds both eras side by side.
+	c, err = NewPersistentMemCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for key, wantVer := range map[string]int{"weights/v1": 1, "weights/v2": 2} {
+		raw, err := c.Get(key)
+		if err != nil {
+			t.Fatalf("%s after mixed-log replay: %v", key, err)
+		}
+		w, err := DecodeWeights(raw)
+		if err != nil || w.Version != wantVer {
+			t.Fatalf("%s decode: %+v, %v", key, w, err)
+		}
+	}
+	raw, err := c.Get("traj/old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr, err := DecodeTrajectory(raw); err != nil || tr.ActorID != 2 {
+		t.Fatalf("gob-era trajectory after replay: %+v, %v", tr, err)
+	}
+	raw, err = c.Get(WeightsDeltaKey(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DecodeDelta(raw)
+	if err != nil || d2.Version != 3 || d2.BaseVersion != 2 {
+		t.Fatalf("binary-era delta after replay: %+v, %v", d2, err)
+	}
+	got := []float64{2, -1}
+	if err := d2.Apply(got); err != nil || got[0] != 3 {
+		t.Fatalf("delta apply after replay: %v, %v", got, err)
+	}
+}

@@ -18,7 +18,10 @@ import (
 // Wire protocol (the Redis stand-in): each message is a length-prefixed
 // frame. Requests are  [u32 frameLen][u8 op][u32 keyLen][key][value] and
 // responses are       [u32 frameLen][u8 status][payload].
-// Ops: 'P' put, 'G' get, 'D' delete, 'I' incr, 'K' keys, 'L' len.
+// Ops: 'P' put, 'G' get, 'D' delete, 'I' incr, 'K' keys, 'L' len,
+// 'p' batched put, 'g' batched get (blobs in the value field; see
+// batch.go), 'V' feature hello (see DESIGN.md §10.4 — old servers
+// answer '!' unknown op, which clients treat as a legacy downgrade).
 // Status: '+' ok, '-' not found, '!' error (payload = message).
 
 const maxFrame = 256 << 20 // 256 MiB guards against corrupt length words
@@ -167,6 +170,12 @@ func opName(op byte) string {
 		return "keys"
 	case 'L':
 		return "len"
+	case 'p':
+		return "putn"
+	case 'g':
+		return "getn"
+	case 'V':
+		return "hello"
 	default:
 		return "unknown"
 	}
@@ -304,6 +313,33 @@ func (s *Server) handle(w io.Writer, f frame) error {
 	case 'L':
 		n, _ := s.store.Len()
 		return writeResp(w, '+', []byte(strconv.Itoa(n)))
+	case 'p':
+		kvs, err := parsePutNBlob(f.value)
+		if err != nil {
+			return writeResp(w, '!', []byte(err.Error()))
+		}
+		_ = s.store.PutN(kvs) // values are copied by PutN; blob aliasing is fine
+		for _, kv := range kvs {
+			s.lineageHop(lineage.HopPut, kv.Key)
+		}
+		return writeResp(w, '+', nil)
+	case 'g':
+		keys, err := parseGetNReq(f.value)
+		if err != nil {
+			return writeResp(w, '!', []byte(err.Error()))
+		}
+		vals, _ := s.store.GetN(keys)
+		for i, v := range vals {
+			if v != nil {
+				s.lineageHop(lineage.HopFetched, keys[i])
+			}
+		}
+		return writeResp(w, '+', appendGetNResp(make([]byte, 0, getNRespSize(vals)), vals))
+	case 'V':
+		// Feature hello: acknowledge and advertise what this build
+		// speaks. The request value names the client's payload codec;
+		// the server is payload-opaque, so it only echoes capabilities.
+		return writeResp(w, '+', []byte("codec=binary features=batch,delta"))
 	default:
 		return writeResp(w, '!', []byte(fmt.Sprintf("unknown op %q", f.op)))
 	}

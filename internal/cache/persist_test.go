@@ -133,7 +133,7 @@ func TestPersistCorruptSnapshotRejected(t *testing.T) {
 	}
 }
 
-func TestPersistCompaction(t *testing.T) {
+func TestChaosPersistCompaction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compaction churn in -short mode")
 	}

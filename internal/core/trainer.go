@@ -442,7 +442,9 @@ func (t *Trainer) publishWeights(costUSD float64) {
 		t.fail(err)
 		return
 	}
-	if err := t.kv.Put("weights/latest", b); err != nil {
+	err = t.kv.Put("weights/latest", b)
+	cache.Recycle(b)
+	if err != nil {
 		t.fail(err)
 		return
 	}

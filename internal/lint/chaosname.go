@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The chaosname check keeps `make chaos` honest. The chaos target
+// selects its suite by NAME (-run '^TestChaos') instead of the
+// hand-maintained regexp it used to carry, which only works if the
+// naming convention cannot drift: in the packages the target covers, a
+// Test function that consults testing.Short() is a heavy drill and
+// must be named TestChaos*, or the chaos target silently stops running
+// it; conversely a TestChaos* function must carry a testing.Short()
+// gate, or `make race` (which passes -short precisely to skip the
+// drills) slows down for everyone.
+//
+// The module loader deliberately never reads _test.go files, so this
+// check parses the test files of its target packages itself,
+// syntax-only — no type information is needed to see a function name
+// and a testing.Short() call. The gate must appear lexically inside
+// the Test function body; a helper that wraps testing.Short() is not
+// followed. Suppression works as usual (//lint:allow chaosname
+// <reason> on the offending line or the line above), but the
+// directive must live in the _test.go file with the finding.
+func chaosnameCheck() Check {
+	return Check{
+		Name: "chaosname",
+		Doc:  "in chaos-suite packages, testing.Short()-gated tests must be named TestChaos* (and vice versa)",
+		Run:  runChaosname,
+	}
+}
+
+// chaosSuitePkg reports whether path is covered by the `make chaos`
+// target (keep in sync with the Makefile's package list). The lint
+// fixture package is included so the golden test can exercise the
+// check without touching the real suites.
+func chaosSuitePkg(path string) bool {
+	switch path {
+	case "stellaris/internal/live", "stellaris/internal/cache", "stellaris/internal/ckpt":
+		return true
+	}
+	return strings.HasSuffix(path, "/testdata/src/chaosname")
+}
+
+func runChaosname(p *Package) []Finding {
+	if !chaosSuitePkg(p.Path) {
+		return nil
+	}
+	ents, err := os.ReadDir(p.Dir)
+	if err != nil {
+		return []Finding{{Pos: p.position(0), Check: "chaosname", Message: "cannot list " + p.Dir + ": " + err.Error()}}
+	}
+	var out []Finding
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(p.Dir, e.Name())
+		f, err := parser.ParseFile(p.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			out = append(out, Finding{Pos: p.position(0), Check: "chaosname", Message: "cannot parse " + e.Name() + ": " + err.Error()})
+			continue
+		}
+		allowed := chaosAllowLines(p, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || !isTestFunc(fn) {
+				continue
+			}
+			pos := p.position(fn.Pos())
+			if allowed[pos.Line] || allowed[pos.Line-1] {
+				continue
+			}
+			short := usesTestingShort(fn.Body)
+			chaos := strings.HasPrefix(fn.Name.Name, "TestChaos")
+			switch {
+			case short && !chaos:
+				out = append(out, Finding{
+					Pos:   pos,
+					Check: "chaosname",
+					Message: fn.Name.Name + " consults testing.Short() but is not named TestChaos*; " +
+						"`make chaos` selects drills with -run '^TestChaos' and will silently skip it",
+				})
+			case chaos && !short:
+				out = append(out, Finding{
+					Pos:   pos,
+					Check: "chaosname",
+					Message: fn.Name.Name + " has no testing.Short() gate; chaos drills must skip " +
+						"under -short so `make race` stays fast",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// isTestFunc reports whether fn is a go-test Test function: named
+// Test or TestXxx (next rune not lowercase) with a single *testing.T
+// parameter. Benchmarks, fuzz targets and examples are exempt — the
+// chaos target only runs tests.
+func isTestFunc(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	if !strings.HasPrefix(name, "Test") {
+		return false
+	}
+	if rest := name[len("Test"):]; rest != "" && rest[0] >= 'a' && rest[0] <= 'z' {
+		return false
+	}
+	params := fn.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) > 1 {
+		return false
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "T" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "testing"
+}
+
+// usesTestingShort reports whether body lexically contains a
+// testing.Short() call.
+func usesTestingShort(body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Short" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "testing" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// chaosAllowLines collects the lines of f holding a well-formed
+// //lint:allow chaosname directive. Test files are outside the shared
+// collectAllows pass (the loader never parses them), so the check
+// honors its own directives here.
+func chaosAllowLines(p *Package, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) >= 2 && fields[0] == "chaosname" {
+				lines[p.Fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

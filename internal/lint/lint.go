@@ -66,6 +66,7 @@ func Checks() []Check {
 		lockholdCheck(),
 		globalrandCheck(),
 		errdropCheck(),
+		chaosnameCheck(),
 	}
 }
 

@@ -1,0 +1,46 @@
+package chaosname
+
+import "testing"
+
+// Correct: short-gated drill with the TestChaos* name.
+func TestChaosHeavyDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+}
+
+// Correct: the inverted gate (extra load outside -short) also counts.
+func TestChaosHeavierOutsideShort(t *testing.T) {
+	n := 1
+	if !testing.Short() {
+		n = 100
+	}
+	_ = n
+}
+
+func TestPersistTortureRun(t *testing.T) { // want "not named TestChaos"
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+}
+
+func TestChaosMissingGate(t *testing.T) { // want "no testing.Short() gate"
+	_ = t
+}
+
+//lint:allow chaosname grandfathered drill pending rename
+func TestLegacyShortGated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+}
+
+// Fast tests without a gate are outside the convention entirely.
+func TestFastPath(t *testing.T) { _ = t }
+
+// Benchmarks and fuzz targets are exempt: `make chaos` only runs tests.
+func BenchmarkShortGated(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy")
+	}
+}

@@ -1,0 +1,4 @@
+// Package chaosname is the fixture for the chaosname check: the
+// offending (and allowed) test functions live in chaos_test.go, which
+// the check parses itself since the loader skips test files.
+package chaosname

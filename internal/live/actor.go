@@ -31,6 +31,13 @@ type actor struct {
 	version *atomic.Int64
 	state   *runState
 
+	// sub, when set (async mode on the binary codec), tracks the weight
+	// vector incrementally via the delta broadcast; nil falls back to
+	// plain full fetches (lockstep, gob mode, tests). With a sub, the
+	// stale-fallback copy is the sub's cache; lastW/lastVer serve the
+	// plain path only.
+	sub *cache.WeightsSub
+
 	frame       []float64
 	epRet       float64
 	lastW       []float64
@@ -57,7 +64,7 @@ func (a *actor) iterate() (note trajNote, ok bool, err error) {
 		start := time.Now()
 		defer func() { a.state.m.iter("actor", a.id, time.Since(start)) }()
 	}
-	w, ver, err := getWeights(a.cli)
+	w, ver, err := a.fetchWeights()
 	if err != nil {
 		// Transient cache failure or corrupt payload: degrade to the
 		// stale copy instead of aborting the run. The client already
@@ -68,15 +75,17 @@ func (a *actor) iterate() (note trajNote, ok bool, err error) {
 			return trajNote{}, false, fmt.Errorf("live: actor %d: weights unavailable after %d fallbacks: %w", a.id, a.staleStreak, err)
 		}
 		a.state.staleReuse()
-		if a.lastW == nil {
+		// Reuse the stale copy together with its version: the rollout
+		// below runs under that policy, whatever the global counter says.
+		var ok bool
+		if w, ver, ok = a.cachedWeights(); !ok {
 			time.Sleep(10 * time.Millisecond)
 			return trajNote{}, false, nil
 		}
-		// Reuse the stale copy together with its version: the rollout
-		// below runs under that policy, whatever the global counter says.
-		w, ver = a.lastW, a.lastVer
 	} else {
-		a.lastW, a.lastVer = w, ver
+		if a.sub == nil {
+			a.lastW, a.lastVer = w, ver
+		}
 		a.staleStreak = 0
 	}
 	if err := a.model.SetWeights(w); err != nil {
@@ -124,11 +133,13 @@ func (a *actor) iterate() (note trajNote, ok bool, err error) {
 		Trace: key, Kind: lineage.KindTrajectory, Hop: lineage.HopProduced,
 		Actor: a.name, Ref: lineage.WeightsID(ver),
 	})
-	b, err := cache.EncodeTrajectory(traj)
+	b, err := cache.EncodeTrajectoryWith(payloadCodec(a.cli), traj)
 	if err != nil {
 		return trajNote{}, false, err
 	}
-	if err := a.cli.Put(key, b); err != nil {
+	err = a.cli.Put(key, b)
+	cache.Recycle(b)
+	if err != nil {
 		// Retries exhausted: shed this trajectory and keep sampling —
 		// losing rollouts is recoverable, dying is not.
 		a.state.drop(dropPutFailed)
@@ -139,4 +150,23 @@ func (a *actor) iterate() (note trajNote, ok bool, err error) {
 		return trajNote{}, false, nil
 	}
 	return trajNote{key: key, steps: len(traj.Steps)}, true, nil
+}
+
+// fetchWeights pulls the newest policy weights: through the delta
+// subscriber when one is wired, a plain full fetch otherwise.
+func (a *actor) fetchWeights() ([]float64, int, error) {
+	if a.sub != nil {
+		return a.sub.Fetch()
+	}
+	return getWeights(a.cli)
+}
+
+// cachedWeights returns the stale-fallback copy. The subscriber owns
+// its cached vector, keeping (weights, version) consistent even after a
+// partially applied delta chain; the plain path keeps its own copy.
+func (a *actor) cachedWeights() ([]float64, int, bool) {
+	if a.sub != nil {
+		return a.sub.Cached()
+	}
+	return a.lastW, a.lastVer, a.lastW != nil
 }

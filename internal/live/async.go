@@ -70,6 +70,9 @@ func (r *run) runAsync() error {
 					lin:       r.lin,
 					name:      name,
 				}
+				if r.codec == cache.CodecBinary {
+					act.sub = &cache.WeightsSub{C: cli}
+				}
 				ready()
 				for !r.stop.Load() {
 					if hook := opt.panicHook; hook != nil && hook("actor", id) {
@@ -195,6 +198,13 @@ func (r *run) learnerBody(id int, name string, workerRNG, chaos *rng.RNG, seq *i
 	}
 	defer cli.Close()
 	model := algo.NewModelHidden(r.template, opt.Hidden, opt.Seed)
+	// On the binary codec the learner tracks weights through the delta
+	// subscriber; in gob mode it full-fetches and keeps its own stale
+	// copy, matching a pre-binary build.
+	var wsub *cache.WeightsSub
+	if r.codec == cache.CodecBinary {
+		wsub = &cache.WeightsSub{C: cli}
+	}
 	var lastW []float64
 	lastBorn := 0
 	staleStreak := 0
@@ -213,23 +223,36 @@ func (r *run) learnerBody(id int, name string, workerRNG, chaos *rng.RNG, seq *i
 			continue
 		}
 		iterStart := time.Now()
-		w, born, err := getWeights(cli)
+		var w []float64
+		var born int
+		if wsub != nil {
+			w, born, err = wsub.Fetch()
+		} else {
+			w, born, err = getWeights(cli)
+		}
 		if err != nil {
 			staleStreak++
 			if staleStreak > opt.MaxStaleFallbacks {
 				return fmt.Errorf("live: learner %d: weights unavailable after %d fallbacks: %w", id, staleStreak, err)
 			}
 			r.st.staleReuse()
-			if lastW == nil {
+			var ok bool
+			if wsub != nil {
+				w, born, ok = wsub.Cached()
+			} else {
+				w, born, ok = lastW, lastBorn, lastW != nil
+			}
+			if !ok {
 				// No weights ever fetched: shed the batch after a
 				// bounded wait rather than compute garbage.
 				r.st.drop(dropNoWeights)
 				time.Sleep(10 * time.Millisecond)
 				continue
 			}
-			w, born = lastW, lastBorn
 		} else {
-			lastW, lastBorn = w, born
+			if wsub == nil {
+				lastW, lastBorn = w, born
+			}
 			staleStreak = 0
 		}
 		if err := model.SetWeights(w); err != nil {
@@ -240,10 +263,17 @@ func (r *run) learnerBody(id int, name string, workerRNG, chaos *rng.RNG, seq *i
 		// (the forward link Chain() follows); seq itself advances only
 		// after the compute succeeds, as before.
 		gkey := fmt.Sprintf("grad/%d/%d", id, *seq)
+		// One batched round trip fetches the whole trajectory batch; a
+		// transport failure degrades to an all-missed batch (the client
+		// already spent its retry budget) rather than killing the worker.
+		vals, err := cache.BatchGet(cli, keys)
+		if err != nil {
+			vals = make([][]byte, len(keys))
+		}
 		var trajs []*replay.Trajectory
-		for _, k := range keys {
-			raw, err := cli.Get(k)
-			if err != nil {
+		for i, raw := range vals {
+			k := keys[i]
+			if raw == nil {
 				continue // evicted under overload
 			}
 			tr, err := cache.DecodeTrajectory(raw)
@@ -267,7 +297,7 @@ func (r *run) learnerBody(id int, name string, workerRNG, chaos *rng.RNG, seq *i
 		g := r.alg.Compute(model, batch, r.tracker.View(), algo.Extra{}, workerRNG.Split(uint64(*seq)))
 		*seq++
 		r.recordGradProduced(gkey, name, born, g.Stats.Truncated)
-		gb, err := cache.EncodeGrad(&cache.GradMsg{
+		gb, err := cache.EncodeGradWith(payloadCodec(cli), &cache.GradMsg{
 			LearnerID: id, BornVersion: born, Grad: g.Data,
 			Samples: g.Stats.Samples, MeanRatio: g.Stats.MeanRatio,
 			MinRatio: g.Stats.MinRatio, KL: g.Stats.KL, Entropy: g.Stats.Entropy,
@@ -280,7 +310,9 @@ func (r *run) learnerBody(id int, name string, workerRNG, chaos *rng.RNG, seq *i
 		if err != nil {
 			return err
 		}
-		if err := cli.Put(gkey, gb); err != nil {
+		err = cli.Put(gkey, gb)
+		cache.Recycle(gb)
+		if err != nil {
 			// Retries exhausted: shed the gradient; the actors
 			// keep producing and a later batch will land.
 			r.st.drop(dropPutFailed)
@@ -371,7 +403,7 @@ func (r *run) paramLoop(gradCh chan gradNote) {
 		// Publishing new weights is the one write the pipeline cannot
 		// shed: on top of the client's own retry budget, keep trying
 		// through a longer outage before declaring the run dead.
-		if err := putWeightsPersistent(r.paramCli, int(nv), r.weights, &r.stop); err != nil {
+		if err := r.publishWeightsPersistent(int(nv)); err != nil {
 			r.fail(err)
 			return
 		}

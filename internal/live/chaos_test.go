@@ -44,7 +44,7 @@ func chaosTrain(t *testing.T, rate float64, opt Options) (*Report, cache.FaultSt
 	return rep, proxy.Stats()
 }
 
-func TestLiveTrainThroughFaultProxy(t *testing.T) {
+func TestChaosLiveTrainThroughFaultProxy(t *testing.T) {
 	// ≥5% drop/delay per chunk (plus corruption and mid-stream closes)
 	// satisfies the chaos bar; the heavier rate runs only outside -short.
 	rates := []float64{0.05}

@@ -24,7 +24,6 @@ package live
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"stellaris/internal/cache"
@@ -38,6 +37,11 @@ type Options struct {
 	// starts an in-process server on a loopback port (still exercising
 	// the full TCP path).
 	CacheAddr string
+	// Codec selects the payload wire encoding: "binary" (the default)
+	// or "gob", the legacy encoding kept for interoperating with old
+	// builds. Gob mode also disables the delta weight broadcast, so its
+	// cache traffic matches a pre-binary build exactly.
+	Codec string
 	// Env names the environment; FrameSize/Hidden as in core.Config.
 	Env       string
 	FrameSize int
@@ -134,6 +138,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Algo != "ppo" && o.Algo != "impact" {
 		return o, fmt.Errorf("live: unknown algo %q", o.Algo)
+	}
+	if _, err := cache.ParseCodec(o.Codec); err != nil {
+		return o, err
 	}
 	if o.Actors <= 0 {
 		o.Actors = 2
@@ -311,16 +318,28 @@ func (p *clientPool) stats() cache.ClientStats {
 	return sum
 }
 
-// putWeightsPersistent retries putWeights through an extended outage,
-// backing off between rounds, until stop is set or the budget (16
-// rounds on top of the client's own per-op retries) runs out.
-func putWeightsPersistent(c cache.Cache, version int, w []float64, stop *atomic.Bool) error {
+// publishWeights stores the run's current weight vector under version,
+// through the delta publisher when the run has one (async mode on the
+// binary codec) or the legacy single-key put otherwise.
+func (r *run) publishWeights(version int) error {
+	if r.pub != nil {
+		return r.pub.Publish(version, r.weights, lineage.Meta{
+			ID: lineage.WeightsID(version), Kind: lineage.KindWeights, Origin: "param",
+		})
+	}
+	return putWeights(r.paramCli, version, r.weights)
+}
+
+// publishWeightsPersistent retries publishWeights through an extended
+// outage, backing off between rounds, until stop is set or the budget
+// (16 rounds on top of the client's own per-op retries) runs out.
+func (r *run) publishWeightsPersistent(version int) error {
 	var err error
 	for round := 0; round < 16; round++ {
-		if err = putWeights(c, version, w); err == nil {
+		if err = r.publishWeights(version); err == nil {
 			return nil
 		}
-		if stop.Load() {
+		if r.stop.Load() {
 			return err
 		}
 		time.Sleep(time.Duration(round+1) * 10 * time.Millisecond)
@@ -329,7 +348,9 @@ func putWeightsPersistent(c cache.Cache, version int, w []float64, stop *atomic.
 }
 
 // putWeights stores a versioned weight vector under "weights/latest",
-// stamped with the synthetic per-version trace identity.
+// stamped with the synthetic per-version trace identity. The lockstep
+// pipeline and tests use this legacy single-key path directly; the
+// async pipeline publishes delta chains through cache.WeightsPublisher.
 func putWeights(c cache.Cache, version int, w []float64) error {
 	b, err := cache.EncodeWeights(&cache.WeightsMsg{
 		Version: version, Weights: w,
@@ -340,12 +361,15 @@ func putWeights(c cache.Cache, version int, w []float64) error {
 	if err != nil {
 		return err
 	}
-	return c.Put("weights/latest", b)
+	err = c.Put(cache.KeyWeightsLatest, b)
+	cache.Recycle(b)
+	return err
 }
 
-// getWeights fetches the latest weights and their version.
+// getWeights fetches the latest weights and their version with a plain
+// full fetch (no delta reconstruction).
 func getWeights(c cache.Cache) ([]float64, int, error) {
-	raw, err := c.Get("weights/latest")
+	raw, err := c.Get(cache.KeyWeightsLatest)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -354,4 +378,14 @@ func getWeights(c cache.Cache) ([]float64, int, error) {
 		return nil, 0, err
 	}
 	return msg.Weights, msg.Version, nil
+}
+
+// payloadCodec selects the payload encoding for a cache handle: the
+// negotiated per-connection codec for network clients, the process-wide
+// default otherwise (MemCache in tests).
+func payloadCodec(c cache.Cache) cache.Codec {
+	if p, ok := c.(interface{ PayloadCodec() cache.Codec }); ok {
+		return p.PayloadCodec()
+	}
+	return cache.DefaultCodec()
 }

@@ -40,6 +40,12 @@ type run struct {
 	dial     func(name string) (*cache.Client, error)
 	paramCli *cache.Client
 
+	// codec is Options.Codec parsed; pub is the delta weight publisher
+	// (nil in gob mode and in lockstep, which keep the legacy single-key
+	// "weights/latest" publish path).
+	codec cache.Codec
+	pub   *cache.WeightsPublisher
+
 	template env.Env
 	root     *rng.RNG
 	alg      algo.Algorithm
@@ -90,6 +96,11 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 		errCh: make(chan error, opt.Actors+opt.Learners+2),
 		start: time.Now(),
 	}
+	codec, err := cache.ParseCodec(opt.Codec)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.codec = codec
 
 	// Causal tracing rides on the obs registry: the lineage store shares
 	// its clock (so SetClock swaps propagate), feeds the lineage_*
@@ -124,12 +135,13 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 	var dialSeq atomic.Uint64
 	r.dial = func(name string) (*cache.Client, error) {
 		cli, err := cache.DialWith(r.addr, cache.DialOptions{
-			OpTimeout:   opt.CacheOpTimeout,
-			Attempts:    opt.CacheAttempts,
-			Seed:        opt.Seed + dialSeq.Add(1),
-			Obs:         opt.Obs,
-			Lineage:     r.lin,
-			LineageName: name,
+			OpTimeout:    opt.CacheOpTimeout,
+			Attempts:     opt.CacheAttempts,
+			Seed:         opt.Seed + dialSeq.Add(1),
+			Obs:          opt.Obs,
+			Lineage:      r.lin,
+			LineageName:  name,
+			PayloadCodec: r.codec,
 		})
 		if err != nil {
 			return nil, err
@@ -173,6 +185,12 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 		r.close()
 		return nil, nil, err
 	}
+	// Delta weight broadcast rides the binary codec; gob mode keeps the
+	// legacy single-key publish, and lockstep keeps it for its replayable
+	// fixed-interleaving wire schedule.
+	if r.codec == cache.CodecBinary && !opt.Lockstep {
+		r.pub = &cache.WeightsPublisher{C: r.paramCli}
+	}
 
 	var loaded *ckpt.Checkpoint
 	if opt.Resume {
@@ -190,7 +208,7 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 	}
 
 	r.recordWeightsProduced(int(r.version.Load()), nil)
-	if err := putWeights(r.paramCli, int(r.version.Load()), r.weights); err != nil {
+	if err := r.publishWeights(int(r.version.Load())); err != nil {
 		r.close()
 		return nil, nil, err
 	}

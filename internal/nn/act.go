@@ -9,7 +9,8 @@ import (
 // Tanh is the hyperbolic-tangent activation used by the paper's MuJoCo
 // MLP trunks (Table II).
 type Tanh struct {
-	lastOut *tensor.Mat
+	lastOut *tensor.Mat // reused forward output buffer
+	dIn     *tensor.Mat // reused backward buffer
 }
 
 // NewTanh returns a Tanh activation layer.
@@ -26,11 +27,10 @@ func (t *Tanh) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(in *tensor.Mat) *tensor.Mat {
-	out := tensor.NewMat(in.Rows, in.Cols)
+	out := ensureMat(&t.lastOut, in.Rows, in.Cols)
 	for i, v := range in.Data {
 		out.Data[i] = math.Tanh(v)
 	}
-	t.lastOut = out
 	return out
 }
 
@@ -39,7 +39,7 @@ func (t *Tanh) Backward(dOut *tensor.Mat) *tensor.Mat {
 	if t.lastOut == nil {
 		panic("nn: Tanh.Backward before Forward")
 	}
-	dIn := tensor.NewMat(dOut.Rows, dOut.Cols)
+	dIn := ensureMat(&t.dIn, dOut.Rows, dOut.Cols)
 	for i, g := range dOut.Data {
 		y := t.lastOut.Data[i]
 		dIn.Data[i] = g * (1 - y*y)
@@ -51,6 +51,8 @@ func (t *Tanh) Backward(dOut *tensor.Mat) *tensor.Mat {
 // trunks (Table II).
 type ReLU struct {
 	lastIn *tensor.Mat
+	out    *tensor.Mat // reused forward output buffer
+	dIn    *tensor.Mat // reused backward buffer
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -68,10 +70,14 @@ func (r *ReLU) Params() []*Param { return nil }
 // Forward implements Layer.
 func (r *ReLU) Forward(in *tensor.Mat) *tensor.Mat {
 	r.lastIn = in
-	out := tensor.NewMat(in.Rows, in.Cols)
+	out := ensureMat(&r.out, in.Rows, in.Cols)
+	// The buffer is reused across calls, so negative lanes must be
+	// written explicitly rather than relying on fresh zeroed storage.
 	for i, v := range in.Data {
 		if v > 0 {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -82,10 +88,12 @@ func (r *ReLU) Backward(dOut *tensor.Mat) *tensor.Mat {
 	if r.lastIn == nil {
 		panic("nn: ReLU.Backward before Forward")
 	}
-	dIn := tensor.NewMat(dOut.Rows, dOut.Cols)
+	dIn := ensureMat(&r.dIn, dOut.Rows, dOut.Cols)
 	for i, g := range dOut.Data {
 		if r.lastIn.Data[i] > 0 {
 			dIn.Data[i] = g
+		} else {
+			dIn.Data[i] = 0
 		}
 	}
 	return dIn

@@ -18,6 +18,11 @@ type Conv2D struct {
 
 	lastCols []*tensor.Mat // per-sample im2col matrices
 	lastRows int
+
+	// Reused forward/backward buffers (see package doc on ownership).
+	out, res         *tensor.Mat
+	dIn, dRes, dCols *tensor.Mat
+	dW               []float64
 }
 
 // NewConv2D creates a convolution layer with He-uniform initialized
@@ -67,9 +72,13 @@ func (c *Conv2D) Forward(in *tensor.Mat) *tensor.Mat {
 	}
 	c.lastCols = c.lastCols[:in.Rows]
 
-	out := tensor.NewMat(in.Rows, s.OutSize())
+	out := ensureMat(&c.out, in.Rows, s.OutSize())
 	w := tensor.MatFrom(s.OutC, s.PatchSize(), c.W.Data)
 	positions := s.OutH * s.OutW
+	// res is positions x OutC, fully overwritten per sample; output
+	// layout is channel-major, so transpose while scattering into the
+	// flat row.
+	res := ensureMat(&c.res, positions, s.OutC)
 	for i := 0; i < in.Rows; i++ {
 		cols := c.lastCols[i]
 		if cols == nil {
@@ -77,9 +86,6 @@ func (c *Conv2D) Forward(in *tensor.Mat) *tensor.Mat {
 			c.lastCols[i] = cols
 		}
 		s.Im2Col(cols, in.Row(i))
-		// res is positions x OutC; output layout is channel-major,
-		// so transpose while scattering into the flat row.
-		res := tensor.NewMat(positions, s.OutC)
 		tensor.MatMulABT(res, cols, w)
 		orow := out.Row(i)
 		for p := 0; p < positions; p++ {
@@ -99,11 +105,15 @@ func (c *Conv2D) Backward(dOut *tensor.Mat) *tensor.Mat {
 		panic("nn: Conv2D.Backward batch mismatch")
 	}
 	positions := s.OutH * s.OutW
-	dIn := tensor.NewMat(dOut.Rows, s.InSize())
+	dIn := ensureMat(&c.dIn, dOut.Rows, s.InSize())
+	dIn.Zero() // Col2Im accumulates into its destination
 	w := tensor.MatFrom(s.OutC, s.PatchSize(), c.W.Data)
-	dW := tensor.MatFrom(s.OutC, s.PatchSize(), make([]float64, len(c.W.Data)))
-	dRes := tensor.NewMat(positions, s.OutC)
-	dCols := tensor.NewMat(positions, s.PatchSize())
+	if cap(c.dW) < len(c.W.Data) {
+		c.dW = make([]float64, len(c.W.Data))
+	}
+	dW := tensor.MatFrom(s.OutC, s.PatchSize(), c.dW[:len(c.W.Data)])
+	dRes := ensureMat(&c.dRes, positions, s.OutC)
+	dCols := ensureMat(&c.dCols, positions, s.PatchSize())
 	for i := 0; i < dOut.Rows; i++ {
 		drow := dOut.Row(i)
 		// Re-transpose the channel-major flat gradient to positions x OutC.

@@ -15,7 +15,9 @@ type Dense struct {
 	W, B    *Param
 
 	lastIn *tensor.Mat // cached for backward
+	out    *tensor.Mat // reused forward output buffer
 	dIn    *tensor.Mat // reused buffer
+	dW     []float64   // reused gradient scratch
 }
 
 // NewDense creates a dense layer with Xavier-uniform weights, the
@@ -64,7 +66,7 @@ func (d *Dense) Forward(in *tensor.Mat) *tensor.Mat {
 		panic(fmt.Sprintf("nn: %s fed %d cols", d.Name(), in.Cols))
 	}
 	d.lastIn = in
-	out := tensor.NewMat(in.Rows, d.Out)
+	out := ensureMat(&d.out, in.Rows, d.Out)
 	w := tensor.MatFrom(d.Out, d.In, d.W.Data)
 	tensor.MatMulABT(out, in, w)
 	tensor.AddBiasRows(out, d.B.Data)
@@ -77,15 +79,16 @@ func (d *Dense) Backward(dOut *tensor.Mat) *tensor.Mat {
 		panic("nn: Dense.Backward before Forward")
 	}
 	// dW += dOutᵀ * in ; db += colsum(dOut) ; dIn = dOut * W
-	dW := tensor.MatFrom(d.Out, d.In, make([]float64, d.Out*d.In))
-	tensor.MatMulATB(dW, dOut, d.lastIn)
+	if cap(d.dW) < d.Out*d.In {
+		d.dW = make([]float64, d.Out*d.In)
+	}
+	dW := tensor.MatFrom(d.Out, d.In, d.dW[:d.Out*d.In])
+	tensor.MatMulATB(dW, dOut, d.lastIn) // zeroes dW first
 	tensor.Axpy(1, dW.Data, d.W.Grad)
 	tensor.SumRows(d.B.Grad, dOut)
 
-	if d.dIn == nil || d.dIn.Rows != dOut.Rows {
-		d.dIn = tensor.NewMat(dOut.Rows, d.In)
-	}
+	dIn := ensureMat(&d.dIn, dOut.Rows, d.In)
 	w := tensor.MatFrom(d.Out, d.In, d.W.Data)
-	tensor.MatMul(d.dIn, dOut, w)
-	return d.dIn
+	tensor.MatMul(dIn, dOut, w) // zeroes dIn first
+	return dIn
 }

@@ -12,6 +12,11 @@
 // Network must not be shared across goroutines; each learner function
 // builds its own replica from a weight vector (exactly as a serverless
 // function would deserialize a model).
+//
+// Layers also own their output buffers: the matrix returned by Forward
+// or Backward is reused by that layer's next Forward/Backward call.
+// Callers that need results to outlive the next pass must copy them
+// (Model.Act/Values already do).
 package nn
 
 import (
@@ -31,11 +36,28 @@ func newParam(name string, n int) *Param {
 	return &Param{Name: name, Data: make([]float64, n), Grad: make([]float64, n)}
 }
 
+// ensureMat returns *slot resized to rows x cols for reuse as a layer
+// output or scratch buffer, reallocating only when the backing array is
+// too small. Contents are unspecified: callers must fully overwrite.
+func ensureMat(slot **tensor.Mat, rows, cols int) *tensor.Mat {
+	m := *slot
+	if m != nil && cap(m.Data) >= rows*cols {
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:rows*cols]
+		return m
+	}
+	m = tensor.NewMat(rows, cols)
+	*slot = m
+	return m
+}
+
 // Layer is a differentiable network stage operating on batches: matrices
 // whose rows are independent samples.
 type Layer interface {
 	// Forward consumes a batch and returns the layer output. The input
-	// must remain unmodified until Backward completes.
+	// must remain unmodified until Backward completes. The returned
+	// matrix is owned by the layer and is only valid until the layer's
+	// next Forward call.
 	Forward(in *tensor.Mat) *tensor.Mat
 	// Backward consumes dL/dOut and returns dL/dIn, accumulating
 	// parameter gradients into Params().Grad.

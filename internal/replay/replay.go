@@ -72,7 +72,21 @@ func Flatten(trajs []*Trajectory) (*Batch, error) {
 	if len(trajs) == 0 {
 		return nil, fmt.Errorf("replay: Flatten of empty trajectory set")
 	}
-	b := &Batch{PolicyVersion: trajs[0].PolicyVersion}
+	steps, rets := 0, 0
+	for _, t := range trajs {
+		steps += len(t.Steps)
+		rets += len(t.EpisodeReturns)
+	}
+	b := &Batch{
+		PolicyVersion:  trajs[0].PolicyVersion,
+		Obs:            make([][]float64, 0, steps),
+		Actions:        make([][]float64, 0, steps),
+		Rewards:        make([]float64, 0, steps),
+		Dones:          make([]bool, 0, steps),
+		BehaviorLP:     make([]float64, 0, steps),
+		BehaviorPR:     make([][]float64, 0, steps),
+		EpisodeReturns: make([]float64, 0, rets),
+	}
 	for _, t := range trajs {
 		for i := range t.Steps {
 			s := &t.Steps[i]
