@@ -39,9 +39,11 @@ lint:
 	$(GO) run ./cmd/stellaris-lint ./...
 
 # Heavy chaos drills under the race detector, WITHOUT -short: fault
-# proxy at aggressive rates, AOF compaction under concurrent load, and
-# the learner-panic + server-bounce drill (see DESIGN.md "Crash
-# recovery"). The suite is selected by NAME, not a hand-maintained
+# proxy at aggressive rates, AOF compaction under concurrent load, the
+# learner-panic + server-bounce drill (see DESIGN.md "Crash
+# recovery"), and the cluster shard-kill failover drill (DESIGN.md
+# §11: one shard leader hard-killed mid-run, follower promoted). The
+# suite is selected by NAME, not a hand-maintained
 # regexp: every testing.Short()-gated drill in these packages must be
 # called TestChaos* — stellaris-lint's chaosname check enforces it, so
 # a new drill cannot silently miss this target. The fast

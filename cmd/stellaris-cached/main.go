@@ -18,6 +18,20 @@
 // delays, corrupts and severs traffic at the given per-chunk rates.
 //
 //	stellaris-cached -addr :6380 -fault-addr :6381 -fault-drop 0.05 -fault-close 0.01
+//
+// In a sharded cluster (DESIGN.md §11) each shard runs one leader plus
+// an optional follower. A follower serves reads and writes like any
+// server but also streams the leader's op log into its own store, so it
+// can be promoted when the leader dies:
+//
+//	stellaris-cached -addr :6390 -shard-id 0 -follower-of 127.0.0.1:6380
+//
+// -shard-id only labels the process (log lines and obs info); key
+// routing is client-side, driven by the topology document. SIGHUP
+// promotes a follower: replication stops, so a resurrected old leader
+// can no longer reset the promoted store. Clients promote on their own
+// when the leader stops answering — the signal is for operators driving
+// a planned switch.
 package main
 
 import (
@@ -44,6 +58,8 @@ func main() {
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "chaos proxy: per-chunk corruption probability")
 	faultClose := flag.Float64("fault-close", 0, "chaos proxy: per-chunk connection-close probability")
 	faultSeed := flag.Uint64("fault-seed", 1, "chaos proxy: fault RNG seed")
+	followerOf := flag.String("follower-of", "", "replicate from this leader address (promote with SIGHUP)")
+	shardID := flag.Int("shard-id", -1, "shard label for log lines and metrics (-1 = unsharded)")
 	flag.Parse()
 
 	var store *cache.MemCache
@@ -55,6 +71,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("persisting keyspace to %s\n", *persistDir)
+	} else if *followerOf != "" {
+		// A follower needs an explicit store handle: the replica applies
+		// the leader's records to the same store the server serves.
+		store = cache.NewMemCache()
 	}
 	srv := cache.NewServer(store)
 	if *obsAddr != "" {
@@ -71,6 +91,12 @@ func main() {
 		srv.InstrumentLineage(lin)
 		reg.SetTraceSource(lin)
 		reg.SetInfo("mode", "cached")
+		if *shardID >= 0 {
+			reg.SetInfo("shard", fmt.Sprintf("%d", *shardID))
+		}
+		if *followerOf != "" {
+			reg.SetInfo("role", "follower")
+		}
 		hs, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stellaris-cached: obs:", err)
@@ -85,7 +111,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stellaris-cached:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("stellaris-cached listening on %s\n", bound)
+	label := ""
+	if *shardID >= 0 {
+		label = fmt.Sprintf(" (shard %d)", *shardID)
+	}
+	fmt.Printf("stellaris-cached listening on %s%s\n", bound, label)
+
+	var replica *cache.Replica
+	if *followerOf != "" {
+		replica = cache.NewReplica(store, *followerOf, cache.ReplicaOptions{Seed: *faultSeed})
+		replica.Start()
+		fmt.Printf("replicating from %s%s; SIGHUP promotes\n", *followerOf, label)
+		promote := make(chan os.Signal, 1)
+		signal.Notify(promote, syscall.SIGHUP)
+		go func() {
+			<-promote
+			replica.Promote()
+			st := replica.Stats()
+			fmt.Printf("promoted%s: replication stopped after %d full syncs, %d records\n",
+				label, st.FullSyncs, st.Records)
+		}()
+	}
 
 	var proxy *cache.FaultProxy
 	if *faultDrop > 0 || *faultDelay > 0 || *faultCorrupt > 0 || *faultClose > 0 {
@@ -108,6 +154,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	if replica != nil {
+		replica.Stop()
+	}
 	if proxy != nil {
 		st := proxy.Stats()
 		fmt.Printf("chaos proxy injected: %d drops, %d delays, %d corruptions, %d closes over %d conns\n",

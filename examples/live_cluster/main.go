@@ -18,6 +18,12 @@
 // gracefully; the resilience counters in the summary show the recovery
 // work performed.
 //
+// -shards self-hosts a sharded cache cluster (DESIGN.md §11) instead of
+// a single server; -shard-followers gives every shard a replicating
+// follower, and -kill-shard-after hard-kills the shard owning the
+// weights head mid-run to demonstrate follower failover — the summary's
+// cluster line shows the failovers the workers rode through.
+//
 // -obs-addr serves live metrics (Prometheus text at /metrics, JSON at
 // /metrics.json, spans at /trace.json, pprof under /debug/pprof/) while
 // the run is in flight; -obs-dir periodically dumps the same snapshots
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"stellaris/internal/cache"
+	"stellaris/internal/cache/cluster"
 	"stellaris/internal/live"
 	"stellaris/internal/obs"
 )
@@ -45,6 +52,9 @@ func main() {
 	var chaos float64
 	var obsAddr, obsDir string
 	var obsEvery time.Duration
+	var shards int
+	var shardFollowers bool
+	var killShardAfter time.Duration
 	flag.StringVar(&opt.CacheAddr, "cache", "", "stellaris-cached address (empty = in-process)")
 	flag.StringVar(&opt.Env, "env", "cartpole", "environment")
 	flag.IntVar(&opt.Actors, "actors", 4, "actor workers")
@@ -66,6 +76,9 @@ func main() {
 	flag.Float64Var(&opt.ChaosPanicRate, "chaos-panic", 0, "probability a learner iteration panics (supervision drill)")
 	flag.StringVar(&opt.Codec, "codec", "", "cache payload codec: binary (default, enables delta weight broadcast) or gob (pre-binary interop)")
 	flag.Float64Var(&chaos, "chaos", 0, "fault-injection rate (0 disables; 0.05 = 5% drops/delays per chunk)")
+	flag.IntVar(&shards, "shards", 0, "self-host a sharded cache cluster with this many shards (0 = single cache; incompatible with -cache and -chaos)")
+	flag.BoolVar(&shardFollowers, "shard-followers", false, "give every self-hosted shard a replicating follower (enables failover)")
+	flag.DurationVar(&killShardAfter, "kill-shard-after", 0, "failover drill: hard-kill the shard owning the weights head this long into the run (needs -shard-followers)")
 	flag.StringVar(&obsAddr, "obs-addr", "", "metrics/pprof HTTP address (e.g. :9090; empty disables)")
 	flag.StringVar(&obsDir, "obs-dir", "", "periodically dump metrics.{json,csv,prom} here")
 	flag.DurationVar(&obsEvery, "obs-every", 5*time.Second, "dump interval for -obs-dir")
@@ -126,6 +139,61 @@ func main() {
 		opt.CacheAttempts = 10
 	}
 
+	if shards > 0 {
+		if opt.CacheAddr != "" || chaos > 0 {
+			log.Fatal("-shards self-hosts the cache cluster; it is incompatible with -cache and -chaos")
+		}
+		topo := &cluster.Topology{Version: 1}
+		leaders := make([]*cache.Server, shards)
+		replicas := make([]*cache.Replica, shards)
+		for i := 0; i < shards; i++ {
+			srv := cache.NewServer(nil)
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			leaders[i] = srv
+			sh := cluster.Shard{ID: i, Addr: addr}
+			if shardFollowers {
+				fstore := cache.NewMemCache()
+				fsrv := cache.NewServer(fstore)
+				faddr, err := fsrv.Listen("127.0.0.1:0")
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer fsrv.Close()
+				fr := cache.NewReplica(fstore, addr, cache.ReplicaOptions{Seed: opt.Seed + uint64(i)})
+				fr.Start()
+				defer fr.Stop()
+				replicas[i] = fr
+				sh.Follower = faddr
+			}
+			topo.Shards = append(topo.Shards, sh)
+		}
+		opt.Cluster = topo
+		fmt.Printf("self-hosted cache cluster: %d shards, followers %v\n", shards, shardFollowers)
+		if killShardAfter > 0 {
+			if !shardFollowers {
+				log.Fatal("-kill-shard-after needs -shard-followers (nothing to fail over to)")
+			}
+			ring, err := cluster.NewRing(topo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			victim := ring.Shard(cache.KeyWeightsHead)
+			timer := time.AfterFunc(killShardAfter, func() {
+				_ = leaders[victim].Close()
+				replicas[victim].Promote()
+				fmt.Printf("chaos: hard-killed shard %d (owns %s); follower promoted\n",
+					victim, cache.KeyWeightsHead)
+			})
+			defer timer.Stop()
+		}
+	} else if shardFollowers || killShardAfter > 0 {
+		log.Fatal("-shard-followers and -kill-shard-after need -shards")
+	}
+
 	rep, err := live.Train(opt)
 	if err != nil {
 		log.Fatal(err)
@@ -137,6 +205,10 @@ func main() {
 	fmt.Printf("resilience: %d retries, %d reconnects, %d timeouts, %d stale-weight reuses, %d shed payloads\n",
 		rep.CacheRetries, rep.CacheReconnects, rep.CacheTimeouts,
 		rep.StaleWeightReuses, rep.DroppedPayloads)
+	if rep.ShardFailovers+rep.WeightRegressions > 0 {
+		fmt.Printf("cluster: %d shard failovers, %d weight-head regressions ridden through\n",
+			rep.ShardFailovers, rep.WeightRegressions)
+	}
 	if rep.Resumed {
 		fmt.Printf("resumed from checkpoint at version %d\n", rep.ResumedFromVersion)
 	}

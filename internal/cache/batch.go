@@ -18,6 +18,7 @@ package cache
 // deployments keep working.
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -305,9 +306,12 @@ func (c *Client) PutN(kvs []KV) error {
 	blob := appendPutNBlob(grabFrame(putNBlobSize(kvs)), kvs)
 	status, payload, err := c.roundTrip('p', "", blob)
 	Recycle(blob)
-	if err == nil && status == '!' {
+	if err == nil && status == '!' && legacyUnknownOp(payload) {
 		// The server at this address stopped speaking batch ops (bounced
-		// onto an old build mid-run); remember and fall back.
+		// onto an old build mid-run); remember and fall back. Only the
+		// "unknown op" answer means legacy — a modern server's batch
+		// validation also answers '!', and retrying THAT per-key would
+		// misfile a bad batch as a protocol downgrade.
 		c.peer.Store(peerLegacy)
 		for _, kv := range kvs {
 			if err := c.Put(kv.Key, kv.Val); err != nil {
@@ -338,7 +342,7 @@ func (c *Client) GetN(keys []string) ([][]byte, error) {
 	blob := appendGetNReq(grabFrame(getNReqSize(keys)), keys)
 	status, payload, err := c.roundTrip('g', "", blob)
 	Recycle(blob)
-	if err == nil && status == '!' {
+	if err == nil && status == '!' && legacyUnknownOp(payload) {
 		c.peer.Store(peerLegacy)
 		return c.getNLoop(keys)
 	}
@@ -358,6 +362,14 @@ func (c *Client) GetN(keys []string) ([][]byte, error) {
 		}
 	}
 	return vals, nil
+}
+
+// legacyUnknownOp reports whether a '!' payload is a legacy server's
+// unknown-op answer (Server.handle's default arm, and the shape old
+// builds produced) as opposed to a modern server rejecting this
+// specific request (parse failure, empty-key validation).
+func legacyUnknownOp(payload []byte) bool {
+	return bytes.HasPrefix(payload, []byte("unknown op"))
 }
 
 func (c *Client) getNLoop(keys []string) ([][]byte, error) {

@@ -11,6 +11,7 @@
 package cache
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -53,11 +54,14 @@ type Cache interface {
 // MemCache is an in-process Cache safe for concurrent use. A MemCache
 // opened with NewPersistentMemCache additionally journals every mutation
 // to disk (see persist.go); the zero-dir form is purely in-memory.
+// Replication streams (replica.go) observe mutations through taps
+// registered with attachTap.
 type MemCache struct {
 	mu       sync.RWMutex
 	data     map[string][]byte
 	counters map[string]int64
 	p        *persister
+	taps     map[*tap]struct{}
 }
 
 // NewMemCache returns an empty in-process cache.
@@ -136,4 +140,119 @@ func (c *MemCache) Len() (int, error) {
 	n := len(c.data)
 	c.mu.RUnlock()
 	return n, nil
+}
+
+// setCounter installs an absolute counter value — the idempotent form a
+// replication full-sync needs, since replaying relative Incrs against
+// an unknown base is not. Journaled as aofCounterSet when persistent.
+func (c *MemCache) setCounter(key string, v int64) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	c.mu.Lock()
+	c.counters[key] = v
+	err := c.logLocked(aofCounterSet, key, buf[:])
+	c.mu.Unlock()
+	return err
+}
+
+// resetForSync clears the whole store — values and counters — at the
+// head of a replication full-sync, discarding whatever stale state a
+// follower carried over from a previous leader. A persistent store
+// compacts to an empty snapshot rather than journaling the reset.
+func (c *MemCache) resetForSync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data = make(map[string][]byte)
+	c.counters = make(map[string]int64)
+	c.tapLocked(aofReset, "", nil)
+	if c.p == nil {
+		return nil
+	}
+	if err := c.p.compact(c.data, c.counters); err != nil {
+		return fmt.Errorf("cache: compact after sync reset: %w", err)
+	}
+	return nil
+}
+
+// ---- replication taps ----
+
+// tap feeds encoded mutation records to one replication stream. Sends
+// happen under c.mu, in mutation order; a full channel marks the tap
+// dead and closes it, forcing the slow follower to reconnect and
+// full-resync rather than silently diverge.
+type tap struct {
+	ch   chan []byte
+	dead bool
+}
+
+// replTapBuffer is the per-follower backlog tolerated before the tap is
+// killed. Sized so a follower a network round-trip behind survives a
+// burst, while a wedged one is cut loose quickly.
+const replTapBuffer = 1024
+
+// attachTap atomically snapshots the store as a sequence of encoded
+// records (reset, every value, every counter as an absolute set) and
+// registers a live tap that will observe every mutation after the
+// snapshot. The handoff happens under one lock acquisition, so no
+// mutation is lost or duplicated between snapshot and stream.
+func (c *MemCache) attachTap() (snapshot [][]byte, t *tap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snapshot = make([][]byte, 0, 1+len(c.data)+len(c.counters))
+	snapshot = append(snapshot, appendRecord(nil, aofReset, "", nil))
+	for k, v := range c.data {
+		snapshot = append(snapshot, appendRecord(nil, aofPut, k, v))
+	}
+	var buf [8]byte
+	for k, v := range c.counters {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		snapshot = append(snapshot, appendRecord(nil, aofCounterSet, k, buf[:]))
+	}
+	t = &tap{ch: make(chan []byte, replTapBuffer)}
+	if c.taps == nil {
+		c.taps = make(map[*tap]struct{})
+	}
+	c.taps[t] = struct{}{}
+	return snapshot, t
+}
+
+// detachTap unregisters t; safe to call after an overflow already
+// killed it.
+func (c *MemCache) detachTap(t *tap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.taps[t]; !ok {
+		return
+	}
+	delete(c.taps, t)
+	if !t.dead {
+		t.dead = true
+		close(t.ch)
+	}
+}
+
+// tapLocked fans one mutation record out to every live tap; called with
+// c.mu held (which is what makes close-after-overflow safe: no sender
+// can race the close). The record is encoded once and shared read-only.
+func (c *MemCache) tapLocked(op byte, key string, val []byte) {
+	if len(c.taps) == 0 {
+		return
+	}
+	rec := appendRecord(nil, op, key, val)
+	for t := range c.taps {
+		if t.dead {
+			continue
+		}
+		select {
+		case t.ch <- rec:
+		default:
+			// Follower too far behind: kill the tap. Its stream ends,
+			// the connection drops, and the reconnect does a full
+			// resync — bounded memory here beats unbounded divergence
+			// there.
+			t.dead = true
+			close(t.ch)
+			delete(c.taps, t)
+		}
+	}
 }

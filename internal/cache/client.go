@@ -19,6 +19,42 @@ import (
 // ErrClientClosed reports an operation on a Close()d client.
 var ErrClientClosed = errors.New("cache: client closed")
 
+// TransportError reports an operation that exhausted its retry budget
+// on transport failures (dial, write, deadline, garbled response) —
+// i.e. the server at this address is unreachable or unusable, as
+// opposed to reachable-but-refusing (status-level errors never wear
+// this type). ShardedClient keys its failover decision on it: only a
+// TransportError justifies promoting a shard's follower.
+type TransportError struct {
+	Op       byte
+	Key      string
+	Attempts int
+	Err      error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("cache: op %q key %q failed after %d attempts: %v",
+		e.Op, e.Key, e.Attempts, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Conn is the client-side surface live workers program against: the
+// Cache ops plus batching, payload-codec negotiation, fault-tolerance
+// stats and lifecycle. Implemented by *Client (one server) and
+// *ShardedClient (a cluster of them).
+type Conn interface {
+	Cache
+	Batcher
+	// PayloadCodec returns the encoder callers should use for payloads
+	// sent through this connection.
+	PayloadCodec() Codec
+	// Stats returns the fault-tolerance counters accumulated so far.
+	Stats() ClientStats
+	// Close releases the connection(s).
+	Close() error
+}
+
 // DialOptions tunes the client's fault-tolerance policy. The zero value
 // selects production defaults (see constants below); set a field
 // negative to disable it where that is meaningful.
@@ -299,8 +335,7 @@ func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, err
 		}
 		lastErr = err
 	}
-	return 0, nil, fmt.Errorf("cache: op %q key %q failed after %d attempts: %w",
-		op, key, c.opts.Attempts, lastErr)
+	return 0, nil, &TransportError{Op: op, Key: key, Attempts: c.opts.Attempts, Err: lastErr}
 }
 
 // attempt performs a single reconnect-if-needed + exchange. The TCP

@@ -1,0 +1,187 @@
+// Package cluster defines the cache tier's topology model: how the
+// traj/, grad/ and weights* keyspace is split across N stellaris-cached
+// shards, and how clients learn (and re-learn) where each shard lives.
+//
+// The package is deliberately dependency-free data plumbing — a shard
+// map (consistent-hash ring with virtual nodes) and a tiny topology
+// document — so both the cache client layer and operational tooling can
+// import it without pulling in the wire protocol. The topology document
+// is stored under the reserved "sys/topology" key, replicated to every
+// shard rather than hashed to one, so any surviving shard can answer a
+// topology read after a failure (see DESIGN.md §11).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// TopologyKey is the reserved cache key holding the cluster's topology
+// document. It lives outside the hashed keyspace: writers put it to
+// EVERY shard and readers accept it from any, so topology remains
+// readable while any single shard survives.
+const TopologyKey = "sys/topology"
+
+// DefaultVNodes is the virtual-node count per shard when the topology
+// document does not pin one. 64 points per shard keeps the keyspace
+// split within a few percent of even for small clusters.
+const DefaultVNodes = 64
+
+// Shard is one cache shard: a leader address plus an optional follower
+// replicating the leader's keyspace for fast failover.
+type Shard struct {
+	// ID is the shard's stable identity. Ring positions derive from the
+	// ID — never the address — so promoting a follower (an address
+	// change) moves zero keys.
+	ID int `json:"id"`
+	// Addr is the address clients should currently dial for this shard.
+	Addr string `json:"addr"`
+	// Follower is the address of the shard's replica, promoted when the
+	// leader dies; empty means the shard runs unreplicated.
+	Follower string `json:"follower,omitempty"`
+}
+
+// Topology is the cluster's shard map document. Version is a monotone
+// counter: clients adopt a fetched topology only when its version
+// exceeds the one they hold, which makes concurrent refreshes and
+// stale reads harmless.
+type Topology struct {
+	Version int     `json:"version"`
+	VNodes  int     `json:"vnodes,omitempty"`
+	Shards  []Shard `json:"shards"`
+}
+
+// Validate checks the structural invariants clients rely on: at least
+// one shard, unique IDs, and a dialable address per shard.
+func (t *Topology) Validate() error {
+	if t == nil || len(t.Shards) == 0 {
+		return fmt.Errorf("cluster: topology has no shards")
+	}
+	if t.Version < 1 {
+		return fmt.Errorf("cluster: topology version %d must be >= 1", t.Version)
+	}
+	seen := make(map[int]bool, len(t.Shards))
+	for _, s := range t.Shards {
+		if s.Addr == "" {
+			return fmt.Errorf("cluster: shard %d has no address", s.ID)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("cluster: duplicate shard id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	return nil
+}
+
+// Clone returns a deep copy, so adopters can mutate their copy without
+// racing the source.
+func (t *Topology) Clone() *Topology {
+	cp := *t
+	cp.Shards = append([]Shard(nil), t.Shards...)
+	return &cp
+}
+
+// Encode serializes the topology document for the sys/topology key.
+// JSON keeps the control plane human-debuggable (`stellaris-cached`
+// keyspaces can be inspected with nothing but nc); the data plane's
+// binary codec is overkill for a document this small and this rare.
+func (t *Topology) Encode() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(t)
+}
+
+// Decode parses a sys/topology value and validates it.
+func Decode(b []byte) (*Topology, error) {
+	var t Topology
+	if err := json.Unmarshal(b, &t); err != nil {
+		return nil, fmt.Errorf("cluster: decoding topology: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Ring is the consistent-hash shard map built from a topology: VNodes
+// points per shard on a 64-bit ring, key → first point clockwise. It is
+// immutable after construction and safe for concurrent use.
+type Ring struct {
+	points []point
+	single int // shard index when len==1 (skip hashing entirely)
+}
+
+type point struct {
+	pos   uint64
+	shard int // index into the source topology's Shards
+}
+
+// NewRing builds the shard map for t. Virtual-node positions hash only
+// the shard ID (and point index) — never the address — so failover
+// promotions and topology refreshes that merely move a shard's address
+// leave every key where it was.
+func NewRing(t *Topology) (*Ring, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if len(t.Shards) == 1 {
+		return &Ring{single: 0}, nil
+	}
+	vn := t.VNodes
+	if vn <= 0 {
+		vn = DefaultVNodes
+	}
+	r := &Ring{single: -1, points: make([]point, 0, vn*len(t.Shards))}
+	for i, s := range t.Shards {
+		for v := 0; v < vn; v++ {
+			r.points = append(r.points, point{
+				pos:   hash64(fmt.Sprintf("shard/%d#%d", s.ID, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].pos != r.points[b].pos {
+			return r.points[a].pos < r.points[b].pos
+		}
+		// Deterministic tie-break so equal hash positions cannot make
+		// routing depend on sort stability.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r, nil
+}
+
+// Shard returns the index (into the source topology's Shards) owning
+// key.
+func (r *Ring) Shard(key string) int {
+	if r.single >= 0 {
+		return r.single
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise from the top of the ring
+	}
+	return r.points[i].shard
+}
+
+// hash64 is FNV-1a over s pushed through a splitmix64 finalizer —
+// stable across processes and Go versions, which the shard map requires
+// (maphash would reseed per process and scatter every client's view of
+// the ring). Raw FNV clusters badly on short, similar strings like
+// vnode labels; the finalizer restores avalanche so the ring stays
+// balanced.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func topo3() *Topology {
+	return &Topology{
+		Version: 1,
+		Shards: []Shard{
+			{ID: 0, Addr: "127.0.0.1:7101", Follower: "127.0.0.1:7201"},
+			{ID: 1, Addr: "127.0.0.1:7102", Follower: "127.0.0.1:7202"},
+			{ID: 2, Addr: "127.0.0.1:7103"},
+		},
+	}
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	want := topo3()
+	b, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != want.Version || len(got.Shards) != len(want.Shards) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	for i := range want.Shards {
+		if got.Shards[i] != want.Shards[i] {
+			t.Fatalf("shard %d mismatch: %+v vs %+v", i, got.Shards[i], want.Shards[i])
+		}
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Topology)
+	}{
+		{"no shards", func(tp *Topology) { tp.Shards = nil }},
+		{"zero version", func(tp *Topology) { tp.Version = 0 }},
+		{"empty addr", func(tp *Topology) { tp.Shards[1].Addr = "" }},
+		{"dup id", func(tp *Topology) { tp.Shards[2].ID = 0 }},
+	}
+	for _, tc := range cases {
+		tp := topo3()
+		tc.mut(tp)
+		if err := tp.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid topology", tc.name)
+		}
+		if _, err := tp.Encode(); err == nil {
+			t.Errorf("%s: Encode accepted invalid topology", tc.name)
+		}
+	}
+	if err := topo3().Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+	if _, err := Decode([]byte(`{"version":1,"shards":[]}`)); err == nil {
+		t.Fatal("Decode accepted shardless topology")
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	r1, err := NewRing(topo3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(topo3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("traj/%d", i)
+		if r1.Shard(k) != r2.Shard(k) {
+			t.Fatalf("ring not deterministic for %q", k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(topo3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Shard(fmt.Sprintf("traj/w%d/seq%d", i%8, i))]++
+	}
+	for s, c := range counts {
+		// With 64 vnodes per shard a 3-way split should stay well
+		// within 2x of even; a grossly skewed ring is a hashing bug.
+		if c < n/6 || c > n/2+n/10 {
+			t.Fatalf("shard %d owns %d/%d keys: unbalanced %v", s, c, n, counts)
+		}
+	}
+}
+
+func TestRingStableAcrossAddressChange(t *testing.T) {
+	// Promotion rewrites addresses but not IDs: routing must not move.
+	before, err := NewRing(topo3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := topo3()
+	promoted.Version = 2
+	promoted.Shards[1].Addr = promoted.Shards[1].Follower
+	promoted.Shards[1].Follower = ""
+	after, err := NewRing(promoted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("grad/%d", i)
+		if before.Shard(k) != after.Shard(k) {
+			t.Fatalf("key %q moved from shard %d to %d on address change",
+				k, before.Shard(k), after.Shard(k))
+		}
+	}
+}
+
+func TestRingSingleShardDegenerate(t *testing.T) {
+	tp := &Topology{Version: 1, Shards: []Shard{{ID: 7, Addr: "127.0.0.1:7100"}}}
+	r, err := NewRing(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"", "a", "traj/0", TopologyKey} {
+		if got := r.Shard(k); got != 0 {
+			t.Fatalf("single-shard ring routed %q to %d", k, got)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	tp := topo3()
+	cp := tp.Clone()
+	cp.Shards[0].Addr = "changed"
+	cp.Version = 99
+	if tp.Shards[0].Addr == "changed" || tp.Version == 99 {
+		t.Fatal("Clone shares state with source")
+	}
+}

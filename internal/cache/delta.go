@@ -240,6 +240,7 @@ func (p *WeightsPublisher) Publish(version int, w []float64, trace lineage.Meta)
 	// Delta first, snapshot second, head last: per-key fallback against
 	// a legacy server preserves slice order, and a batched put lands
 	// under one lock — either way the head never leads its data.
+	wroteDelta := false
 	if p.hasPrev && p.prevVer == version-1 && len(p.prev) == len(w) {
 		d, err := BuildDelta(version, version-1, p.prev, w)
 		if err != nil {
@@ -252,8 +253,15 @@ func (p *WeightsPublisher) Publish(version int, w []float64, trace lineage.Meta)
 		}
 		kvs = append(kvs, KV{Key: WeightsDeltaKey(version), Val: db})
 		frames = append(frames, db)
+		wroteDelta = true
 	}
-	if version%snapEvery == 0 || !p.hasPrev {
+	// A publish that emitted no delta (first publish, version gap after
+	// a failed publish or restart, vector resize) MUST snapshot: the
+	// head is about to advance, and without a delta the snapshot is the
+	// only data that can back it. Skipping it here used to strand
+	// subscribers thrashing on full fetches of a snapshot that never
+	// reached the head's version.
+	if version%snapEvery == 0 || !wroteDelta {
 		sb, err := EncodeWeights(&WeightsMsg{Version: version, Weights: w, Trace: trace})
 		if err != nil {
 			return err
@@ -313,6 +321,7 @@ type WeightsSub struct {
 	deltaHits   atomic.Int64
 	fullFetches atomic.Int64
 	skipped     atomic.Int64
+	regressions atomic.Int64
 }
 
 // SubStats reports how a subscriber has been reconstructing weights.
@@ -323,6 +332,13 @@ type SubStats struct {
 	DeltaHits   int64
 	FullFetches int64
 	Skipped     int64
+	// Regressions counts Fetches that observed the head pointer moving
+	// BACKWARDS — the signature of a failover onto a follower (or a
+	// restart from older persisted state) that lost recent publishes.
+	// Each one resets the subscriber and re-fetches, so staleness
+	// accounting restarts from the regressed version instead of
+	// silently mixing old weights with new version numbers.
+	Regressions int64
 }
 
 // Stats returns the subscriber's reconstruction counters.
@@ -331,6 +347,7 @@ func (s *WeightsSub) Stats() SubStats {
 		DeltaHits:   s.deltaHits.Load(),
 		FullFetches: s.fullFetches.Load(),
 		Skipped:     s.skipped.Load(),
+		Regressions: s.regressions.Load(),
 	}
 }
 
@@ -367,6 +384,17 @@ func (s *WeightsSub) Fetch() ([]float64, int, error) {
 	if s.ok && hv == s.ver {
 		s.skipped.Add(1)
 		return s.w, s.ver, nil
+	}
+	if s.ok && hv < s.ver {
+		// The head moved backwards: the publisher's store lost recent
+		// versions (failover to a follower, restart from older persisted
+		// state). The regressed head IS the current policy now — but it
+		// must be adopted deliberately, not by silently overwriting a
+		// newer cached vector as if versions only ever grew. Reset so the
+		// refetch starts from nothing, and count it so live.Report can
+		// surface that staleness accounting has a discontinuity.
+		s.regressions.Add(1)
+		s.Reset()
 	}
 	if s.ok && hv > s.ver && hv-s.ver <= maxChain && s.applyChain(hv) {
 		s.deltaHits.Add(1)

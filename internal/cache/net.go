@@ -21,7 +21,10 @@ import (
 // Ops: 'P' put, 'G' get, 'D' delete, 'I' incr, 'K' keys, 'L' len,
 // 'p' batched put, 'g' batched get (blobs in the value field; see
 // batch.go), 'V' feature hello (see DESIGN.md §10.4 — old servers
-// answer '!' unknown op, which clients treat as a legacy downgrade).
+// answer '!' unknown op, which clients treat as a legacy downgrade),
+// 'R' replication subscribe (hijacks the connection into a one-way
+// stream of '+' frames carrying AOF records; see replica.go and
+// DESIGN.md §11.2).
 // Status: '+' ok, '-' not found, '!' error (payload = message).
 
 const maxFrame = 256 << 20 // 256 MiB guards against corrupt length words
@@ -176,6 +179,8 @@ func opName(op byte) string {
 		return "getn"
 	case 'V':
 		return "hello"
+	case 'R':
+		return "replicate"
 	default:
 		return "unknown"
 	}
@@ -259,6 +264,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if f.op == 'R' {
+			// Replication subscribe hijacks the connection: from here on
+			// it is a one-way stream of '+' frames until either side
+			// drops. No further requests are read.
+			if s.m != nil {
+				s.m.ops.With(opName('R')).Inc()
+			}
+			s.streamReplication(conn, bw)
+			return
+		}
 		var start time.Time
 		if s.m != nil {
 			// Request frame size: 4-byte length word + 1 op + 4 keyLen +
@@ -318,6 +333,15 @@ func (s *Server) handle(w io.Writer, f frame) error {
 		if err != nil {
 			return writeResp(w, '!', []byte(err.Error()))
 		}
+		// The batch path enforces the same empty-key invariant as single
+		// 'P' — rejecting the WHOLE batch, because applying a prefix of
+		// it would leave the store (and the AOF, and any replication
+		// follower) holding a partial write the client believes failed.
+		for i, kv := range kvs {
+			if kv.Key == "" {
+				return writeResp(w, '!', []byte(fmt.Sprintf("empty key at index %d in batched put", i)))
+			}
+		}
 		_ = s.store.PutN(kvs) // values are copied by PutN; blob aliasing is fine
 		for _, kv := range kvs {
 			s.lineageHop(lineage.HopPut, kv.Key)
@@ -327,6 +351,11 @@ func (s *Server) handle(w io.Writer, f frame) error {
 		keys, err := parseGetNReq(f.value)
 		if err != nil {
 			return writeResp(w, '!', []byte(err.Error()))
+		}
+		for i, k := range keys {
+			if k == "" {
+				return writeResp(w, '!', []byte(fmt.Sprintf("empty key at index %d in batched get", i)))
+			}
 		}
 		vals, _ := s.store.GetN(keys)
 		for i, v := range vals {
@@ -342,6 +371,75 @@ func (s *Server) handle(w io.Writer, f frame) error {
 		return writeResp(w, '+', []byte("codec=binary features=batch,delta"))
 	default:
 		return writeResp(w, '!', []byte(fmt.Sprintf("unknown op %q", f.op)))
+	}
+}
+
+// Replication stream tuning. The keepalive bounds how long a follower
+// waits before declaring a silent leader dead (followers read with a
+// deadline a few keepalives wide); the write timeout bounds how long a
+// wedged follower can stall the stream goroutine before being cut
+// loose.
+const (
+	replKeepalive    = 250 * time.Millisecond
+	replWriteTimeout = 2 * time.Second
+)
+
+// streamReplication serves one follower: an atomic full-state snapshot
+// (reset + every key + every counter) followed by the live mutation
+// feed from the store tap, each record in its own '+' response frame.
+// Empty '+' frames are keepalives. Any exit path — follower gone, write
+// timeout, tap overflow, server shutdown — just drops the connection;
+// the follower's reconnect triggers a fresh full sync, so no exit needs
+// to be distinguishable from another.
+func (s *Server) streamReplication(conn net.Conn, bw *bufio.Writer) {
+	snapshot, t := s.store.attachTap()
+	defer s.store.detachTap(t)
+
+	// The follower never writes after 'R', so any read completion —
+	// data, EOF, reset — means the connection is done for. This watcher
+	// is what lets an idle stream notice a dead follower (or Server
+	// shutdown closing the conn) without waiting on a write failure.
+	gone := make(chan struct{})
+	go func() {
+		var one [1]byte
+		_, _ = conn.Read(one[:])
+		close(gone)
+	}()
+
+	send := func(rec []byte) error {
+		if err := conn.SetWriteDeadline(time.Now().Add(replWriteTimeout)); err != nil {
+			return err
+		}
+		if err := writeResp(bw, '+', rec); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	for _, rec := range snapshot {
+		if err := send(rec); err != nil {
+			return
+		}
+	}
+	keepalive := time.NewTicker(replKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case rec, ok := <-t.ch:
+			if !ok {
+				// Tap overflowed: this follower fell too far behind the
+				// mutation rate. Drop it; resync on reconnect.
+				return
+			}
+			if err := send(rec); err != nil {
+				return
+			}
+		case <-keepalive.C:
+			if err := send(nil); err != nil {
+				return
+			}
+		case <-gone:
+			return
+		}
 	}
 }
 

@@ -41,6 +41,17 @@ const (
 	aofPut    byte = 'P'
 	aofDelete byte = 'D'
 	aofIncr   byte = 'I'
+	// aofCounterSet stores an absolute counter value (8-byte big-endian
+	// payload). Replication full-syncs emit it because replaying relative
+	// 'I' increments against an unknown base is not idempotent; a
+	// persistent follower then journals it, so AOF replay understands it
+	// too.
+	aofCounterSet byte = 'C'
+	// aofReset clears the entire store. It opens every replication
+	// full-sync (the follower may hold stale state from a previous
+	// leader) and never appears in an AOF: a persistent store reacts to
+	// it by compacting to an empty snapshot instead of journaling.
+	aofReset byte = 'S'
 )
 
 const (
@@ -155,9 +166,13 @@ func (c *MemCache) Close() error {
 	return err
 }
 
-// logLocked appends one mutation record; called with c.mu held. Nil
-// persister (in-memory store) is a no-op.
+// logLocked appends one mutation record and fans it out to any attached
+// replication taps; called with c.mu held. Tap dispatch comes first so
+// followers hear about a mutation even when its local journaling fails
+// — memory is the source of truth, and the taps mirror memory. Nil
+// persister (in-memory store) skips the journal.
 func (c *MemCache) logLocked(op byte, key string, val []byte) error {
+	c.tapLocked(op, key, val)
 	if c.p == nil {
 		return nil
 	}
@@ -172,32 +187,65 @@ func (c *MemCache) logLocked(op byte, key string, val []byte) error {
 	return nil
 }
 
-func (p *persister) append(op byte, key string, val []byte) error {
-	body := make([]byte, 0, 1+4+len(key)+4+len(val))
-	body = append(body, op)
-	body = binary.BigEndian.AppendUint32(body, uint32(len(key)))
-	body = append(body, key...)
-	body = binary.BigEndian.AppendUint32(body, uint32(len(val)))
-	body = append(body, val...)
+// appendRecord appends one CRC-framed mutation record to b:
+// u32 bodyLen | body | u32 CRC-32(body), body = u8 op | u32 keyLen |
+// key | u32 valLen | val. The same framing is the AOF's on-disk format
+// and the replication stream's payload format (replica.go), so a
+// follower applies exactly what a crash recovery would replay.
+func appendRecord(b []byte, op byte, key string, val []byte) []byte {
+	blen := 1 + 4 + len(key) + 4 + len(val)
+	b = binary.BigEndian.AppendUint32(b, uint32(blen))
+	start := len(b)
+	b = append(b, op)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(key)))
+	b = append(b, key...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(val)))
+	b = append(b, val...)
+	return binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b[start:]))
+}
 
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := p.bw.Write(hdr[:]); err != nil {
-		return err
+// scanRecord parses the CRC-framed record at the start of b. It returns
+// the bytes consumed, or n == 0 when b does not start with a complete,
+// checksum-valid record — torn tail and corruption look the same to the
+// caller, which is the point: both AOF replay and the replication
+// stream stop trusting the input there. The returned key and val alias
+// b; callers that retain them must copy.
+func scanRecord(b []byte) (op byte, key []byte, val []byte, n int) {
+	if len(b) < 4 {
+		return 0, nil, nil, 0
 	}
-	if _, err := p.bw.Write(body); err != nil {
-		return err
+	blen := int(binary.BigEndian.Uint32(b))
+	if blen < 9 || blen > maxRecord || 4+blen+4 > len(b) {
+		return 0, nil, nil, 0
 	}
-	var sum [4]byte
-	binary.BigEndian.PutUint32(sum[:], crc32.ChecksumIEEE(body))
-	if _, err := p.bw.Write(sum[:]); err != nil {
+	body := b[4 : 4+blen]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(b[4+blen:]) {
+		return 0, nil, nil, 0
+	}
+	op = body[0]
+	kl := int(binary.BigEndian.Uint32(body[1:]))
+	if 5+kl+4 > blen {
+		return 0, nil, nil, 0
+	}
+	key = body[5 : 5+kl]
+	vl := int(binary.BigEndian.Uint32(body[5+kl:]))
+	if 5+kl+4+vl > blen {
+		return 0, nil, nil, 0
+	}
+	val = body[5+kl+4 : 5+kl+4+vl]
+	return op, key, val, 4 + blen + 4
+}
+
+func (p *persister) append(op byte, key string, val []byte) error {
+	rec := appendRecord(make([]byte, 0, 4+1+4+len(key)+4+len(val)+4), op, key, val)
+	if _, err := p.bw.Write(rec); err != nil {
 		return err
 	}
 	if err := p.bw.Flush(); err != nil {
 		return err
 	}
 	p.ops++
-	p.aofBytes += int64(4 + len(body) + 4)
+	p.aofBytes += int64(len(rec))
 	if p.appendedC != nil {
 		p.appendedC.Inc()
 		p.aofBytesG.Set(float64(p.aofBytes))
@@ -390,28 +438,11 @@ func (p *persister) replayAOF(c *MemCache) (int64, error) {
 	var applied int64
 	off := 0
 	for {
-		if off+4 > len(b) {
-			break // clean end or torn length prefix
+		op, kb, val, n := scanRecord(b[off:])
+		if n == 0 {
+			break // clean end or torn tail
 		}
-		blen := int(binary.BigEndian.Uint32(b[off:]))
-		if blen < 9 || blen > maxRecord || off+4+blen+4 > len(b) {
-			break // torn tail
-		}
-		body := b[off+4 : off+4+blen]
-		if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(b[off+4+blen:]) {
-			break // torn tail
-		}
-		op := body[0]
-		kl := int(binary.BigEndian.Uint32(body[1:]))
-		if 5+kl+4 > blen {
-			break
-		}
-		key := string(body[5 : 5+kl])
-		vl := int(binary.BigEndian.Uint32(body[5+kl:]))
-		if 5+kl+4+vl > blen {
-			break
-		}
-		val := body[5+kl+4 : 5+kl+4+vl]
+		key := string(kb)
 		switch op {
 		case aofPut:
 			c.data[key] = append([]byte(nil), val...)
@@ -420,11 +451,16 @@ func (p *persister) replayAOF(c *MemCache) (int64, error) {
 			delete(c.counters, key)
 		case aofIncr:
 			c.counters[key]++
+		case aofCounterSet:
+			if len(val) != 8 {
+				return applied, truncateTo(path, off)
+			}
+			c.counters[key] = int64(binary.BigEndian.Uint64(val))
 		default:
 			// Unknown op: treat as corruption, stop here.
 			return applied, truncateTo(path, off)
 		}
-		off += 4 + blen + 4
+		off += n
 		applied++
 	}
 	if off < len(b) {

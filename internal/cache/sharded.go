@@ -1,0 +1,611 @@
+package cache
+
+// ShardedClient spreads the cache keyspace across a cluster of
+// stellaris-cached shards (DESIGN.md §11): consistent-hash routing per
+// key, batch ops fanned out per shard, and — when a shard's leader
+// stops answering — failover onto its follower wired into the same
+// retry machinery single-server clients already ride through outages.
+//
+// Ordering contract: single-key ops route to exactly one shard, so
+// per-key ordering matches the single-server client. PutN preserves the
+// caller's pair order globally by splitting the batch into contiguous
+// same-shard runs and executing the runs sequentially — the delta
+// weight publisher's delta→snapshot→head ordering survives sharding
+// unchanged. GetN has no ordering obligation and fans out one batch per
+// shard, merging results back into request order.
+//
+// The reserved topology key (cluster.TopologyKey) is handled outside
+// the ring: writes go to every shard, reads accept the first answer,
+// so the shard map itself survives any single shard loss.
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"stellaris/internal/cache/cluster"
+	"stellaris/internal/obs"
+)
+
+// ShardedStats extends ClientStats with cluster-level recovery events.
+type ShardedStats struct {
+	ClientStats
+	// Failovers counts shard leaders replaced by their follower after
+	// transport exhaustion.
+	Failovers int64
+	// TopologyRefreshes counts newer topology documents adopted (watch
+	// or post-failover refresh).
+	TopologyRefreshes int64
+	// TopologyVersion is the version of the topology currently in use.
+	TopologyVersion int
+}
+
+// ShardedClient is a Conn backed by a cluster of cache servers. Safe
+// for concurrent use.
+type ShardedClient struct {
+	opts DialOptions
+	ring *cluster.Ring
+
+	mu    sync.Mutex
+	topo  *cluster.Topology
+	slots []*shardSlot
+
+	closed    atomicBool
+	failovers obs.Counter
+	refreshes obs.Counter
+
+	watchOnce sync.Once
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
+}
+
+type atomicBool struct {
+	mu sync.Mutex
+	v  bool
+}
+
+func (b *atomicBool) set() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	was := b.v
+	b.v = true
+	return !was
+}
+
+func (b *atomicBool) get() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+// shardSlot is the mutable per-shard connection state. epoch advances
+// on every client swap so concurrent operations that all hit the same
+// dead leader trigger exactly one failover between them.
+type shardSlot struct {
+	id int
+
+	mu       sync.Mutex
+	cli      *Client
+	addr     string
+	follower string
+	epoch    int64
+}
+
+func (s *shardSlot) client() (*Client, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cli, s.epoch
+}
+
+// DialSharded connects to every shard in topo. Like DialWith, the
+// initial connects are eager so a misconfigured topology surfaces
+// immediately. The topology is cloned; later refreshes never mutate the
+// caller's copy.
+func DialSharded(topo *cluster.Topology, opts DialOptions) (*ShardedClient, error) {
+	ring, err := cluster.NewRing(topo)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	sc := &ShardedClient{
+		opts:      opts,
+		ring:      ring,
+		topo:      topo.Clone(),
+		watchStop: make(chan struct{}),
+	}
+	for _, sh := range sc.topo.Shards {
+		cli, err := DialWith(sh.Addr, opts)
+		if err != nil {
+			for _, s := range sc.slots {
+				_ = s.cli.Close()
+			}
+			return nil, err
+		}
+		sc.slots = append(sc.slots, &shardSlot{
+			id: sh.ID, cli: cli, addr: sh.Addr, follower: sh.Follower,
+		})
+	}
+	return sc, nil
+}
+
+// slotFor routes key to its shard. The ring is immutable (failover and
+// refresh change addresses, never ownership), so no lock is needed.
+func (sc *ShardedClient) slotFor(key string) *shardSlot {
+	return sc.slots[sc.ring.Shard(key)]
+}
+
+// do runs op against key's shard, failing over onto the follower (and
+// retrying once) when the leader is transport-dead.
+func (sc *ShardedClient) do(key string, op func(*Client) error) error {
+	return sc.doSlot(sc.slotFor(key), op)
+}
+
+func (sc *ShardedClient) doSlot(slot *shardSlot, op func(*Client) error) error {
+	cli, epoch := slot.client()
+	err := op(cli)
+	var te *TransportError
+	if err == nil || !errors.As(err, &te) {
+		return err
+	}
+	if !sc.failover(slot, epoch) {
+		return err
+	}
+	cli, _ = slot.client()
+	return op(cli)
+}
+
+// failover promotes slot's follower: dial it, swap it in as the leader
+// address, and demote the old leader address to follower position so a
+// later failover can swing back if the original process resurrects. The
+// epoch check collapses a thundering herd of concurrent failures into
+// one promotion. Returns false when there is nothing to promote (no
+// follower, follower also dead, client closed, or a concurrent caller
+// already failed over — in which case the caller should simply retry).
+func (sc *ShardedClient) failover(slot *shardSlot, epoch int64) bool {
+	if sc.closed.get() {
+		return false
+	}
+	slot.mu.Lock()
+	if slot.epoch != epoch {
+		slot.mu.Unlock()
+		return true // someone else already promoted; retry on the new client
+	}
+	follower := slot.follower
+	slot.mu.Unlock()
+	if follower == "" {
+		return false
+	}
+
+	// Dial outside the slot lock: a dead follower costs a full
+	// DialTimeout and must not wedge concurrent ops on this shard (they
+	// will fail their own epoch check afterwards and report the original
+	// error).
+	cli, err := DialWith(follower, sc.opts)
+	if err != nil {
+		return false
+	}
+
+	slot.mu.Lock()
+	if slot.epoch != epoch {
+		slot.mu.Unlock()
+		_ = cli.Close()
+		return true
+	}
+	old := slot.cli
+	slot.cli = cli
+	slot.addr, slot.follower = follower, slot.addr
+	slot.epoch++
+	slot.mu.Unlock()
+	_ = old.Close()
+	sc.failovers.Inc()
+
+	// Best-effort: record the new leadership in the shared topology so
+	// watching clients converge without each one rediscovering the dead
+	// leader. Racing failovers publish identical documents, so version
+	// collisions are harmless.
+	sc.publishPromotion(slot)
+	return true
+}
+
+// publishPromotion writes a bumped topology reflecting slot's current
+// leadership to every reachable shard. Failures are ignored — topology
+// publication is an optimization, not a correctness requirement (every
+// client can fail over independently).
+func (sc *ShardedClient) publishPromotion(slot *shardSlot) {
+	sc.mu.Lock()
+	t := sc.topo.Clone()
+	t.Version++
+	for i := range t.Shards {
+		if t.Shards[i].ID == slot.id {
+			slot.mu.Lock()
+			t.Shards[i].Addr, t.Shards[i].Follower = slot.addr, slot.follower
+			slot.mu.Unlock()
+		}
+	}
+	sc.topo = t
+	sc.refreshes.Inc()
+	sc.mu.Unlock()
+	if b, err := t.Encode(); err == nil {
+		_ = sc.putAll(cluster.TopologyKey, b)
+	}
+}
+
+// ---- Cache ----
+
+// Put implements Cache. The topology key is written to every shard; all
+// other keys route through the ring.
+func (sc *ShardedClient) Put(key string, val []byte) error {
+	if key == cluster.TopologyKey {
+		return sc.putAll(key, val)
+	}
+	return sc.do(key, func(c *Client) error { return c.Put(key, val) })
+}
+
+// Get implements Cache. The topology key is answered by the first shard
+// that has it.
+func (sc *ShardedClient) Get(key string) ([]byte, error) {
+	if key == cluster.TopologyKey {
+		return sc.getAny(key)
+	}
+	var v []byte
+	err := sc.do(key, func(c *Client) error {
+		var e error
+		v, e = c.Get(key)
+		return e
+	})
+	return v, err
+}
+
+// Delete implements Cache (topology key: deleted everywhere).
+func (sc *ShardedClient) Delete(key string) error {
+	if key == cluster.TopologyKey {
+		return sc.deleteAll(key)
+	}
+	return sc.do(key, func(c *Client) error { return c.Delete(key) })
+}
+
+// Incr implements Cache.
+func (sc *ShardedClient) Incr(key string) (int64, error) {
+	var v int64
+	err := sc.do(key, func(c *Client) error {
+		var e error
+		v, e = c.Incr(key)
+		return e
+	})
+	return v, err
+}
+
+// Keys implements Cache: fan out to every shard, merge sorted, dedupe
+// (the topology key legitimately exists on all shards).
+func (sc *ShardedClient) Keys(prefix string) ([]string, error) {
+	var all []string
+	for _, slot := range sc.slots {
+		err := sc.doSlot(slot, func(c *Client) error {
+			ks, e := c.Keys(prefix)
+			if e == nil {
+				all = append(all, ks...)
+			}
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(all)
+	out := all[:0]
+	for i, k := range all {
+		if i == 0 || k != all[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Len implements Cache as the sum of per-shard lengths. Keys replicated
+// to every shard (the topology key) are counted once per shard — Len is
+// a capacity gauge, not an exact cardinality, and the existing
+// interface has no way to dedupe counts without a full key scan.
+func (sc *ShardedClient) Len() (int, error) {
+	total := 0
+	for _, slot := range sc.slots {
+		err := sc.doSlot(slot, func(c *Client) error {
+			n, e := c.Len()
+			if e == nil {
+				total += n
+			}
+			return e
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// ---- Batcher ----
+
+// PutN implements Batcher. The batch splits into contiguous same-shard
+// runs executed sequentially, preserving the caller's global pair order
+// (see the package comment: the weight publisher depends on it).
+func (sc *ShardedClient) PutN(kvs []KV) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	for start := 0; start < len(kvs); {
+		slot := sc.slotFor(kvs[start].Key)
+		end := start + 1
+		for end < len(kvs) && sc.slotFor(kvs[end].Key) == slot {
+			end++
+		}
+		run := kvs[start:end]
+		if err := sc.doSlot(slot, func(c *Client) error { return c.PutN(run) }); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// GetN implements Batcher: one batch per shard, results merged back
+// into request order; missing keys yield nil entries.
+func (sc *ShardedClient) GetN(keys []string) ([][]byte, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	out := make([][]byte, len(keys))
+	perShard := make(map[*shardSlot][]int)
+	order := make([]*shardSlot, 0, len(sc.slots))
+	for i, k := range keys {
+		slot := sc.slotFor(k)
+		if _, seen := perShard[slot]; !seen {
+			order = append(order, slot)
+		}
+		perShard[slot] = append(perShard[slot], i)
+	}
+	for _, slot := range order {
+		idx := perShard[slot]
+		sub := make([]string, len(idx))
+		for j, i := range idx {
+			sub[j] = keys[i]
+		}
+		err := sc.doSlot(slot, func(c *Client) error {
+			vals, e := c.GetN(sub)
+			if e != nil {
+				return e
+			}
+			for j, i := range idx {
+				out[i] = vals[j]
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ---- topology-key fan-out ----
+
+func (sc *ShardedClient) putAll(key string, val []byte) error {
+	var firstErr error
+	for _, slot := range sc.slots {
+		if err := sc.doSlot(slot, func(c *Client) error { return c.Put(key, val) }); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (sc *ShardedClient) deleteAll(key string) error {
+	var firstErr error
+	for _, slot := range sc.slots {
+		if err := sc.doSlot(slot, func(c *Client) error { return c.Delete(key) }); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (sc *ShardedClient) getAny(key string) ([]byte, error) {
+	var lastErr error
+	for _, slot := range sc.slots {
+		var v []byte
+		err := sc.doSlot(slot, func(c *Client) error {
+			var e error
+			v, e = c.Get(key)
+			return e
+		})
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// ---- Conn plumbing ----
+
+// PayloadCodec implements Conn by delegating to shard 0: the cluster is
+// deployed as one unit, so one shard's build answers for all.
+func (sc *ShardedClient) PayloadCodec() Codec {
+	cli, _ := sc.slots[0].client()
+	return cli.PayloadCodec()
+}
+
+// Stats implements Conn, aggregating the per-shard clients' counters.
+// Clients replaced by failover stop contributing their history, so the
+// aggregate can briefly dip; ShardedStats().Failovers records that the
+// dip had a cause.
+func (sc *ShardedClient) Stats() ClientStats {
+	var agg ClientStats
+	for _, slot := range sc.slots {
+		cli, _ := slot.client()
+		st := cli.Stats()
+		agg.Retries += st.Retries
+		agg.Reconnects += st.Reconnects
+		agg.Timeouts += st.Timeouts
+	}
+	return agg
+}
+
+// ShardedStats returns the cluster-level view: aggregated client
+// counters plus failovers and topology refreshes.
+func (sc *ShardedClient) ShardedStats() ShardedStats {
+	sc.mu.Lock()
+	ver := sc.topo.Version
+	sc.mu.Unlock()
+	return ShardedStats{
+		ClientStats:       sc.Stats(),
+		Failovers:         sc.failovers.Value(),
+		TopologyRefreshes: sc.refreshes.Value(),
+		TopologyVersion:   ver,
+	}
+}
+
+// Close implements Conn: stops the topology watch and closes every
+// shard client. Idempotent.
+func (sc *ShardedClient) Close() error {
+	if !sc.closed.set() {
+		return nil
+	}
+	close(sc.watchStop)
+	sc.watchWG.Wait()
+	var firstErr error
+	for _, slot := range sc.slots {
+		cli, _ := slot.client()
+		if err := cli.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---- topology refresh ----
+
+// PublishTopology writes t to every shard under cluster.TopologyKey and
+// adopts it locally. Use it to seed a fresh cluster or push an
+// operator-driven change.
+func (sc *ShardedClient) PublishTopology(t *cluster.Topology) error {
+	b, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	if err := sc.putAll(cluster.TopologyKey, b); err != nil {
+		return err
+	}
+	return sc.adopt(t)
+}
+
+// FetchTopology reads the current topology document from the cluster
+// (first shard that has it).
+func (sc *ShardedClient) FetchTopology() (*cluster.Topology, error) {
+	b, err := sc.getAny(cluster.TopologyKey)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Decode(b)
+}
+
+// RefreshTopology fetches the shared topology document and adopts it if
+// strictly newer than the one in use. Returns whether an adoption
+// happened.
+func (sc *ShardedClient) RefreshTopology() (bool, error) {
+	t, err := sc.FetchTopology()
+	if err != nil {
+		return false, err
+	}
+	sc.mu.Lock()
+	cur := sc.topo.Version
+	sc.mu.Unlock()
+	if t.Version <= cur {
+		return false, nil
+	}
+	if err := sc.adopt(t); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// adopt installs t: shard addresses are updated in place (dialing new
+// leaders eagerly; shards whose new address is unreachable keep their
+// current client and heal on a later refresh). The shard ID set must
+// match — the ring is fixed at construction, and a topology that adds
+// or removes shards would silently re-home keys mid-run.
+func (sc *ShardedClient) adopt(t *cluster.Topology) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if len(t.Shards) != len(sc.slots) {
+		return errors.New("cache: topology shard count changed; resharding requires a new client")
+	}
+	byID := make(map[int]cluster.Shard, len(t.Shards))
+	for _, sh := range t.Shards {
+		byID[sh.ID] = sh
+	}
+	for _, slot := range sc.slots {
+		if _, ok := byID[slot.id]; !ok {
+			return errors.New("cache: topology shard ids changed; resharding requires a new client")
+		}
+	}
+	for _, slot := range sc.slots {
+		sh := byID[slot.id]
+		slot.mu.Lock()
+		sameAddr := slot.addr == sh.Addr
+		slot.follower = sh.Follower
+		slot.mu.Unlock()
+		if sameAddr {
+			continue
+		}
+		cli, err := DialWith(sh.Addr, sc.opts)
+		if err != nil {
+			continue // keep the current client; a later refresh can heal
+		}
+		slot.mu.Lock()
+		old := slot.cli
+		slot.cli = cli
+		slot.addr = sh.Addr
+		slot.epoch++
+		slot.mu.Unlock()
+		_ = old.Close()
+	}
+	sc.mu.Lock()
+	sc.topo = t.Clone()
+	sc.mu.Unlock()
+	sc.refreshes.Inc()
+	return nil
+}
+
+// StartTopologyWatch polls the shared topology document every interval
+// and adopts newer versions, so promotions performed by other clients
+// (or operators) propagate without waiting for this client to hit the
+// dead leader itself. Stopped by Close. Safe to call once; later calls
+// are no-ops.
+func (sc *ShardedClient) StartTopologyWatch(every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	sc.watchOnce.Do(func() {
+		sc.watchWG.Add(1)
+		go func() {
+			defer sc.watchWG.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					_, _ = sc.RefreshTopology()
+				case <-sc.watchStop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Interface conformance.
+var (
+	_ Conn = (*Client)(nil)
+	_ Conn = (*ShardedClient)(nil)
+)

@@ -7,8 +7,11 @@ import (
 )
 
 // The errdrop check flags statements that silently discard the error
-// result of a cache data operation (Put/Get/Delete/Incr/Keys/Len on
-// any internal/cache implementation) or an os.Setenv-style call. On a
+// result of a cache data operation (Put/Get/Delete/Incr/Keys/Len and
+// the batched PutN/GetN on any internal/cache implementation), a
+// replication-stream apply (Replica.ApplyRecord — a dropped apply error
+// is a follower silently diverging from its leader), or an
+// os.Setenv-style call. On a
 // networked cache these errors are the *normal* signal of an outage —
 // dropping one on the floor is how a worker keeps running with state
 // it never stored (the PR 1 hang began as an unhandled publish
@@ -85,7 +88,7 @@ func errdropTarget(p *Package, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	switch fn.Name() {
-	case "Put", "Get", "Delete", "Incr", "Keys", "Len":
+	case "Put", "Get", "Delete", "Incr", "Keys", "Len", "PutN", "GetN", "ApplyRecord":
 	default:
 		return "", false
 	}

@@ -22,6 +22,17 @@ func memToo(m *cache.MemCache) {
 	m.Put("k", nil) // want "error from MemCache.Put discarded"
 }
 
+func batchedToo(b cache.Batcher) {
+	b.PutN(nil) // want "error from Batcher.PutN discarded"
+	b.GetN(nil) // want "error from Batcher.GetN discarded"
+}
+
+func replicationToo(r *cache.Replica) {
+	// A dropped apply error is a follower silently diverging from its
+	// leader — the worst possible failure mode for a promotion target.
+	r.ApplyRecord('P', "k", nil) // want "error from Replica.ApplyRecord discarded"
+}
+
 func handled(c cache.Cache) error {
 	if err := c.Put("k", nil); err != nil {
 		return err

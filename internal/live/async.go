@@ -71,7 +71,7 @@ func (r *run) runAsync() error {
 					name:      name,
 				}
 				if r.codec == cache.CodecBinary {
-					act.sub = &cache.WeightsSub{C: cli}
+					act.sub = r.trackSub(&cache.WeightsSub{C: cli})
 				}
 				ready()
 				for !r.stop.Load() {
@@ -203,7 +203,7 @@ func (r *run) learnerBody(id int, name string, workerRNG, chaos *rng.RNG, seq *i
 	// copy, matching a pre-binary build.
 	var wsub *cache.WeightsSub
 	if r.codec == cache.CodecBinary {
-		wsub = &cache.WeightsSub{C: cli}
+		wsub = r.trackSub(&cache.WeightsSub{C: cli})
 	}
 	var lastW []float64
 	lastBorn := 0

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"stellaris/internal/cache"
+	"stellaris/internal/cache/cluster"
 	"stellaris/internal/obs"
 	"stellaris/internal/obs/lineage"
 )
@@ -37,6 +38,14 @@ type Options struct {
 	// starts an in-process server on a loopback port (still exercising
 	// the full TCP path).
 	CacheAddr string
+	// Cluster, when set, connects every worker to a sharded cache
+	// cluster instead of a single server (DESIGN.md §11): keys route by
+	// consistent hash, and a shard whose leader dies fails over onto its
+	// follower mid-run without aborting training. Mutually exclusive
+	// with CacheAddr. A one-shard topology is the degenerate case and
+	// behaves — byte for byte on the wire — like a single server, so
+	// Lockstep determinism carries over unchanged.
+	Cluster *cluster.Topology
 	// Codec selects the payload wire encoding: "binary" (the default)
 	// or "gob", the legacy encoding kept for interoperating with old
 	// builds. Gob mode also disables the delta weight broadcast, so its
@@ -142,6 +151,14 @@ func (o Options) withDefaults() (Options, error) {
 	if _, err := cache.ParseCodec(o.Codec); err != nil {
 		return o, err
 	}
+	if o.Cluster != nil {
+		if o.CacheAddr != "" {
+			return o, fmt.Errorf("live: CacheAddr and Cluster are mutually exclusive")
+		}
+		if err := o.Cluster.Validate(); err != nil {
+			return o, err
+		}
+	}
 	if o.Actors <= 0 {
 		o.Actors = 2
 	}
@@ -219,6 +236,17 @@ type Report struct {
 	// or a learner with no weights. Options.Obs breaks the same events
 	// down by reason in live_dropped_payloads_total.
 	DroppedPayloads int64
+	// ShardFailovers counts shard leaders replaced by their follower
+	// (cluster mode only), summed across every worker's sharded client —
+	// each client fails over independently, so one dead leader typically
+	// shows up here once per worker that hit it.
+	ShardFailovers int64
+	// WeightRegressions counts head-pointer regressions the delta weight
+	// subscribers detected and reset through: after failover onto a
+	// follower whose replicated head lagged the dead leader, the policy
+	// version can move backwards, and the subscribers re-anchor rather
+	// than silently serving an older vector as if it were newer.
+	WeightRegressions int64
 
 	// Crash-recovery accounting. ActorRestarts/LearnerRestarts count
 	// supervisor restarts by role; CheckpointsWritten counts successful
@@ -291,15 +319,16 @@ func Train(opt Options) (*Report, error) {
 	return r.buildReport(), nil
 }
 
-// clientPool tracks every cache client a run opens so their
-// fault-tolerance counters can be aggregated into the Report (counters
-// stay readable after Close).
+// clientPool tracks every cache connection a run opens — single-server
+// clients or sharded cluster clients — so their fault-tolerance
+// counters can be aggregated into the Report (counters stay readable
+// after Close).
 type clientPool struct {
 	mu      sync.Mutex
-	clients []*cache.Client
+	clients []cache.Conn
 }
 
-func (p *clientPool) add(c *cache.Client) {
+func (p *clientPool) add(c cache.Conn) {
 	p.mu.Lock()
 	p.clients = append(p.clients, c)
 	p.mu.Unlock()
@@ -316,6 +345,20 @@ func (p *clientPool) stats() cache.ClientStats {
 		sum.Timeouts += s.Timeouts
 	}
 	return sum
+}
+
+// shardFailovers sums follower promotions across the run's sharded
+// clients; zero outside cluster mode.
+func (p *clientPool) shardFailovers() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n int64
+	for _, c := range p.clients {
+		if sc, ok := c.(*cache.ShardedClient); ok {
+			n += sc.ShardedStats().Failovers
+		}
+	}
+	return n
 }
 
 // publishWeights stores the run's current weight vector under version,

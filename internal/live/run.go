@@ -19,6 +19,10 @@ import (
 	"stellaris/internal/stale"
 )
 
+// topologyWatchEvery is how often async-mode cluster connections poll
+// the shared topology document for promotions other clients published.
+const topologyWatchEvery = 250 * time.Millisecond
+
 // run bundles the state shared by a live training run's workers,
 // supervisor, and checkpointer. It is built once by newRun, driven by
 // runAsync or runLockstep, and summarized by buildReport.
@@ -37,8 +41,14 @@ type run struct {
 	srv      *cache.Server
 	addr     string
 	pool     *clientPool
-	dial     func(name string) (*cache.Client, error)
-	paramCli *cache.Client
+	dial     func(name string) (cache.Conn, error)
+	paramCli cache.Conn
+
+	// subs registers every delta weight subscriber the workers open so
+	// their head-regression counters (failover artifacts) can be folded
+	// into the Report after the pipeline drains.
+	subMu sync.Mutex
+	subs  []*cache.WeightsSub
 
 	// codec is Options.Codec parsed; pub is the delta weight publisher
 	// (nil in gob mode and in lockstep, which keep the legacy single-key
@@ -114,9 +124,10 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 		opt.Obs.SetInfo("mode", map[bool]string{true: "lockstep", false: "async"}[opt.Lockstep])
 	}
 
-	// Cache: external or in-process TCP server.
+	// Cache: a sharded cluster, an external server, or an in-process TCP
+	// server.
 	r.addr = opt.CacheAddr
-	if r.addr == "" {
+	if r.addr == "" && opt.Cluster == nil {
 		r.srv = cache.NewServer(nil)
 		if opt.Obs != nil {
 			r.srv.Instrument(opt.Obs)
@@ -128,13 +139,13 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 		}
 		r.addr = addr
 	}
-	// One client per worker keeps request streams independent. Every
-	// client shares the run's retry/deadline policy and is registered so
-	// its fault-tolerance counters can be folded into the Report; name
-	// labels the client's lineage hops with the owning worker.
+	// One connection per worker keeps request streams independent. Every
+	// connection shares the run's retry/deadline policy and is registered
+	// so its fault-tolerance counters can be folded into the Report; name
+	// labels the connection's lineage hops with the owning worker.
 	var dialSeq atomic.Uint64
-	r.dial = func(name string) (*cache.Client, error) {
-		cli, err := cache.DialWith(r.addr, cache.DialOptions{
+	r.dial = func(name string) (cache.Conn, error) {
+		dopts := cache.DialOptions{
 			OpTimeout:    opt.CacheOpTimeout,
 			Attempts:     opt.CacheAttempts,
 			Seed:         opt.Seed + dialSeq.Add(1),
@@ -142,7 +153,23 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 			Lineage:      r.lin,
 			LineageName:  name,
 			PayloadCodec: r.codec,
-		})
+		}
+		if opt.Cluster != nil {
+			sc, err := cache.DialSharded(opt.Cluster, dopts)
+			if err != nil {
+				return nil, err
+			}
+			// Promotions performed by other workers propagate through the
+			// shared topology document. Lockstep keeps the watch off: its
+			// wire schedule must stay a pure function of the options, and
+			// with one worker there is nobody to learn promotions from.
+			if !opt.Lockstep {
+				sc.StartTopologyWatch(topologyWatchEvery)
+			}
+			r.pool.add(sc)
+			return sc, nil
+		}
+		cli, err := cache.DialWith(r.addr, dopts)
 		if err != nil {
 			return nil, err
 		}
@@ -240,6 +267,29 @@ func (r *run) fail(err error) {
 	if !r.stop.Swap(true) {
 		r.flightDump("fail")
 	}
+}
+
+// trackSub registers a delta weight subscriber for the Report's
+// regression accounting and returns it, so creation sites stay
+// one-liners.
+func (r *run) trackSub(s *cache.WeightsSub) *cache.WeightsSub {
+	r.subMu.Lock()
+	r.subs = append(r.subs, s)
+	r.subMu.Unlock()
+	return s
+}
+
+// subRegressions sums head-pointer regressions across every registered
+// subscriber. Called after the pipeline drains, when the owning workers
+// have stopped.
+func (r *run) subRegressions() int64 {
+	r.subMu.Lock()
+	defer r.subMu.Unlock()
+	var n int64
+	for _, s := range r.subs {
+		n += s.Stats().Regressions
+	}
+	return n
 }
 
 // noteEpisode folds one finished episode's return into the report state.
@@ -444,6 +494,8 @@ func (r *run) buildReport() *Report {
 		CacheTimeouts:      cst.Timeouts,
 		StaleWeightReuses:  r.st.staleReuses.Load(),
 		DroppedPayloads:    r.st.dropped.Load(),
+		ShardFailovers:     r.pool.shardFailovers(),
+		WeightRegressions:  r.subRegressions(),
 		ActorRestarts:      r.actorRestarts.Load(),
 		LearnerRestarts:    r.learnerRestarts.Load(),
 		CheckpointsWritten: r.ckptWrites.Load(),
