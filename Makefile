@@ -7,7 +7,7 @@ BENCHTIME ?= 100ms
 BENCHPKGS ?= . ./internal/nn ./internal/cache
 FUZZTIME ?= 5s
 
-.PHONY: build test race cover fmt vet lint bench bench-compare fuzz-short chaos trace-smoke ci
+.PHONY: build test race cover fmt vet lint leaktest bench bench-compare fuzz-short chaos trace-smoke ci
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,22 @@ vet:
 
 # Project-specific invariant analyzer (stdlib-only, see DESIGN.md
 # "Invariants"): wall-clock reads in DES packages, mixed atomic/plain
-# field access, blocking calls under a mutex, global math/rand, and
-# silently dropped cache errors. Exits non-zero on any finding.
+# field access, blocking calls under a mutex (lexically and across call
+# chains), lock-order deadlock cycles, leaked goroutines, global
+# math/rand, silently dropped cache errors, and stale //lint:allow
+# directives. Exits non-zero on any finding; the -budget flag fails the
+# run if module analysis outgrows its CI time box.
 lint:
-	$(GO) run ./cmd/stellaris-lint ./...
+	$(GO) run ./cmd/stellaris-lint -budget 120s ./...
+
+# Runtime goroutine-leak sanitizer pass: the suites wired with
+# leaktest.Check (cache client/server/replica/sharded, live train and
+# recovery, obs HTTP) run race-enabled and WITHOUT -short, so every
+# Close/Stop path is exercised and any goroutine outliving its test
+# fails the build. This is the dynamic complement of the static
+# goroleak check above.
+leaktest:
+	$(GO) test -race -count=1 ./internal/leaktest ./internal/cache ./internal/live ./internal/obs
 
 # Heavy chaos drills under the race detector, WITHOUT -short: fault
 # proxy at aggressive rates, AOF compaction under concurrent load, the
@@ -86,4 +98,4 @@ bench-compare:
 	$(GO) run ./cmd/bench2json -o BENCH_new.json < BENCH_new.txt
 	$(GO) run ./cmd/bench2json -compare BENCH_live.json BENCH_new.json -max-regress $(MAX_REGRESS)
 
-ci: build fmt vet lint race cover
+ci: build fmt vet lint race leaktest cover

@@ -8,33 +8,51 @@
 //
 // Usage:
 //
-//	stellaris-lint ./...          # whole module (the CI invocation)
-//	stellaris-lint internal/live  # one package directory
-//	stellaris-lint -checks        # list checks and exit
+//	stellaris-lint ./...               # whole module (the CI invocation)
+//	stellaris-lint internal/live       # one package directory
+//	stellaris-lint -format json ./...  # machine-readable findings
+//	stellaris-lint -checks             # list checks and exit
 //
-// Findings print one per line as file:line:col: [check] message.
-// Intentional sites are suppressed in source with
-// `//lint:allow <check> <reason>` (same line or the line above).
+// Findings print one per line as file:line:col: [check] message, or as
+// a JSON array with -format json (the GitHub Actions problem matcher
+// consumes the text form; tooling consumes the JSON form). Intentional
+// sites are suppressed in source with `//lint:allow <check> <reason>`
+// (same line or the line above); a directive that suppresses nothing
+// is itself a finding.
+//
+// The interprocedural checks (lockorder, lockholdt, goroleak) see call
+// chains across every package in the same invocation, so the ./...
+// form is the one that gates CI. A timing line goes to stderr; the run
+// fails if analysis exceeds -budget (default 120s) so the lint gate
+// cannot quietly grow into the slowest CI step.
 //
 // Exit status: 0 clean, 1 findings, 2 the analyzer itself failed
-// (unparseable tree, type errors).
+// (unparseable tree, type errors, blown budget).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"stellaris/internal/lint"
 )
 
 func main() {
 	listChecks := flag.Bool("checks", false, "list registered checks and exit")
+	format := flag.String("format", "text", `output format: "text" (file:line:col: [check] message) or "json"`)
+	budget := flag.Duration("budget", 120*time.Second, "fail (exit 2) if analysis takes longer than this")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: stellaris-lint [-checks] [./... | pkg-dir ...]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stellaris-lint [-checks] [-format text|json] [./... | pkg-dir ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "stellaris-lint: unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
 
 	if *listChecks {
 		for _, c := range lint.Checks() {
@@ -43,6 +61,7 @@ func main() {
 		return
 	}
 
+	start := time.Now()
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatal(err)
@@ -77,14 +96,59 @@ func main() {
 	}
 
 	findings := lint.Analyze(pkgs, lint.Checks())
-	for _, f := range findings {
-		fmt.Println(f)
+	if *format == "json" {
+		printJSON(findings)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
+
+	// Timing line + runtime budget: the linter loads and type-checks the
+	// module (plus stdlib deps) from source, so keep an eye on it — a
+	// blown budget fails the run like any other analyzer breakage.
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "stellaris-lint: %d packages, %d findings in %.1fs\n",
+		len(pkgs), len(findings), elapsed.Seconds())
+	if elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "stellaris-lint: analysis took %.1fs, over the %s budget\n",
+			elapsed.Seconds(), *budget)
+		os.Exit(2)
+	}
+
 	switch {
 	case len(typeErrs) > 0:
 		os.Exit(2)
 	case len(findings) > 0:
 		os.Exit(1)
+	}
+}
+
+// jsonFinding is the -format json shape; field names are stable API
+// for tooling.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func printJSON(findings []lint.Finding) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File:    f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Check:   f.Check,
+			Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

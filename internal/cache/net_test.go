@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"stellaris/internal/leaktest"
 )
 
 // startServer returns a running server and a connected client; cleanup
@@ -28,6 +30,7 @@ func startServer(t *testing.T) (*Server, *Client) {
 }
 
 func TestClientServerRoundTrip(t *testing.T) {
+	leaktest.Check(t)
 	_, cli := startServer(t)
 	if err := cli.Put("key", []byte("value")); err != nil {
 		t.Fatal(err)
@@ -108,6 +111,7 @@ func TestLargePayload(t *testing.T) {
 }
 
 func TestConcurrentClients(t *testing.T) {
+	leaktest.Check(t)
 	srv := NewServer(nil)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
@@ -185,6 +189,7 @@ func TestClientSharedStoreWithServer(t *testing.T) {
 }
 
 func TestServerCloseIdempotent(t *testing.T) {
+	leaktest.Check(t)
 	srv := NewServer(nil)
 	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
 		t.Fatal(err)

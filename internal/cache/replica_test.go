@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"stellaris/internal/leaktest"
 )
 
 // waitFor polls cond until it returns nil or the deadline passes.
@@ -41,6 +43,7 @@ func startLeader(t *testing.T, store *MemCache) (*Server, string) {
 }
 
 func TestReplicaFullSyncAndLiveFeed(t *testing.T) {
+	leaktest.Check(t)
 	leader := NewMemCache()
 	// Pre-existing state exercises the snapshot path.
 	if err := leader.Put("traj/pre", []byte("old")); err != nil {
@@ -109,6 +112,7 @@ func TestReplicaFullSyncAndLiveFeed(t *testing.T) {
 }
 
 func TestReplicaReconnectsAndResyncs(t *testing.T) {
+	leaktest.Check(t)
 	leader := NewMemCache()
 	if err := leader.Put("k1", []byte("v1")); err != nil {
 		t.Fatal(err)
@@ -167,6 +171,7 @@ func TestReplicaAgainstLegacyLeaderKeepsRetrying(t *testing.T) {
 }
 
 func TestPromotedFollowerServesAndRefusesResync(t *testing.T) {
+	leaktest.Check(t)
 	leader := NewMemCache()
 	if err := leader.Put("weights/latest", []byte("w1")); err != nil {
 		t.Fatal(err)

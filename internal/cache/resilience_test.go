@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"stellaris/internal/leaktest"
 	"stellaris/internal/rng"
 )
 
@@ -90,6 +91,7 @@ func fastOpts() DialOptions {
 }
 
 func TestClientReconnectsAfterConnClose(t *testing.T) {
+	leaktest.Check(t)
 	store := NewMemCache()
 	addr := flakyListener(t, store, 1) // every connection dies after one request
 	cli, err := DialWith(addr, fastOpts())
@@ -159,6 +161,7 @@ func TestClientNoRetryOnServerError(t *testing.T) {
 }
 
 func TestClientCloseConcurrent(t *testing.T) {
+	leaktest.Check(t)
 	_, cli := startServer(t)
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -188,6 +191,7 @@ func TestClientCloseConcurrent(t *testing.T) {
 }
 
 func TestClientSurvivesServerRestart(t *testing.T) {
+	leaktest.Check(t)
 	// Bind a listener, serve, close the whole server, restart on the
 	// same port: the client must redial transparently.
 	srv1 := NewServer(nil)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"stellaris/internal/cache/cluster"
+	"stellaris/internal/leaktest"
 )
 
 // startCluster stands up n leader servers (each with an optional
@@ -59,6 +60,7 @@ func startTestCluster(t *testing.T, n int, withFollowers bool) *testCluster {
 }
 
 func TestShardedClientBasicOps(t *testing.T) {
+	leaktest.Check(t)
 	tc := startTestCluster(t, 3, false)
 	sc, err := DialSharded(tc.topo, DialOptions{})
 	if err != nil {
@@ -186,6 +188,7 @@ func TestShardedClientTopologyKeyOnEveryShard(t *testing.T) {
 }
 
 func TestShardedClientFailoverToFollower(t *testing.T) {
+	leaktest.Check(t)
 	tc := startTestCluster(t, 3, true)
 	opts := DialOptions{OpTimeout: 200 * time.Millisecond, Attempts: 2, BackoffBase: time.Millisecond, BackoffMax: 5 * time.Millisecond, DialTimeout: time.Second}
 	sc, err := DialSharded(tc.topo, opts)
@@ -278,6 +281,7 @@ func TestShardedClientNoFollowerErrorsSurface(t *testing.T) {
 }
 
 func TestShardedClientTopologyWatchAdoptsNewerVersion(t *testing.T) {
+	leaktest.Check(t)
 	tc := startTestCluster(t, 2, true)
 	sc, err := DialSharded(tc.topo, DialOptions{})
 	if err != nil {

@@ -1,0 +1,52 @@
+package leaktest
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLeakDetection deliberately leaks a goroutine, asserts verify
+// reports it, then releases it and asserts verify goes quiet — the
+// self-test the rest of the repo's suites lean on.
+func TestLeakDetection(t *testing.T) {
+	release := make(chan struct{})
+	go func() {
+		<-release
+	}()
+
+	err := verify(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("verify should report the parked goroutine")
+	}
+	if !strings.Contains(err.Error(), "goroutine(s) leaked") {
+		t.Errorf("error should count leaked goroutines: %v", err)
+	}
+	if !strings.Contains(err.Error(), "leaktest_test.go") {
+		t.Errorf("error should carry the leaking stack: %v", err)
+	}
+
+	close(release)
+	if err := verify(maxWait); err != nil {
+		t.Errorf("after releasing the goroutine verify should pass: %v", err)
+	}
+}
+
+// TestCheckClean wires the public entry point into a test that leaks
+// nothing: Check must stay silent.
+func TestCheckClean(t *testing.T) {
+	Check(t)
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// TestBenignFilters pins that the harness's own goroutines never count
+// as leaks, otherwise every Check call would be flaky by construction.
+func TestBenignFilters(t *testing.T) {
+	for _, g := range interestingGoroutines() {
+		t.Errorf("baseline goroutine not filtered as benign:\n%s", g)
+	}
+}

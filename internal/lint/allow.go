@@ -1,13 +1,23 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
 	"strings"
 )
 
-// allowSet records //lint:allow directives by (file, line).
+// allowSet records //lint:allow directives by (file, line), tracking
+// which directives actually suppressed something so dead ones can be
+// reported by the stale-suppression audit.
 type allowSet struct {
-	byLine map[allowKey][]string // check names allowed at that line
+	byLine map[allowKey][]*allowDirective
+	all    []*allowDirective
+}
+
+type allowDirective struct {
+	pos  token.Position
+	name string // check the directive names
+	used bool   // suppressed at least one finding this run
 }
 
 type allowKey struct {
@@ -16,11 +26,12 @@ type allowKey struct {
 }
 
 // suppressed reports whether f is covered by a directive on its own
-// line or the line directly above it.
+// line or the line directly above it, marking the directive used.
 func (a allowSet) suppressed(f Finding) bool {
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, name := range a.byLine[allowKey{f.Pos.Filename, line}] {
-			if name == f.Check {
+		for _, d := range a.byLine[allowKey{f.Pos.Filename, line}] {
+			if d.name == f.Check {
+				d.used = true
 				return true
 			}
 		}
@@ -28,12 +39,32 @@ func (a allowSet) suppressed(f Finding) bool {
 	return false
 }
 
+// stale returns one finding per directive whose named check ran but
+// which suppressed nothing: the annotation is dead and should be
+// dropped (or points at a site whose finding moved). Directives for
+// checks that did not run are left alone — a partial `-checks` style
+// invocation must not condemn annotations it never exercised.
+func (a allowSet) stale(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range a.all {
+		if d.used || !ran[d.name] {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:     d.pos,
+			Check:   "allow",
+			Message: fmt.Sprintf("stale directive: //lint:allow %s suppresses no %s finding here — drop it", d.name, d.name),
+		})
+	}
+	return out
+}
+
 // collectAllows parses every //lint:allow directive in p. Malformed
 // directives (missing reason, unknown check name) are returned as
 // findings so a typo cannot silently disable suppression — or worse,
 // silently fail to.
 func collectAllows(p *Package, valid map[string]bool) (allowSet, []Finding) {
-	set := allowSet{byLine: make(map[allowKey][]string)}
+	set := allowSet{byLine: make(map[allowKey][]*allowDirective)}
 	var bad []Finding
 	for _, file := range p.Files {
 		for _, group := range file.Comments {
@@ -58,8 +89,10 @@ func collectAllows(p *Package, valid map[string]bool) (allowSet, []Finding) {
 						Message: "directive names unknown check " + strings.Trim(fields[0], `"`),
 					})
 				default:
+					d := &allowDirective{pos: pos, name: fields[0]}
 					k := allowKey{pos.Filename, pos.Line}
-					set.byLine[k] = append(set.byLine[k], fields[0])
+					set.byLine[k] = append(set.byLine[k], d)
+					set.all = append(set.all, d)
 				}
 			}
 		}

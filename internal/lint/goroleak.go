@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// The goroleak check flags `go` statements whose goroutine has no
+// reachable termination path: the entry function (a literal or a
+// resolvable module function, possibly through a chain of
+// unconditional top-level calls) ends up in an unbounded loop —
+// `for {}` / `for true {}` — containing no return, no break that
+// leaves the loop, no select case that exits, and no panic/os.Exit. A
+// wedged background goroutine is how bounded staleness silently
+// becomes unbounded: a replication or watch loop that can never stop
+// outlives every Close() and keeps a stale view alive forever.
+//
+// Loops with a real condition (`for !stop.Load()`), bounded loops,
+// and `for range ch` (terminates when the channel closes) are all
+// fine, as is any loop that selects on a done/stop channel and
+// returns. internal/leaktest is the runtime counterpart: this check
+// catches the structurally-hopeless cases at lint time, leaktest
+// catches the dynamically wedged ones under -race.
+func goroleakCheck() Check {
+	return Check{
+		Name:      "goroleak",
+		Doc:       "no go statements that launch goroutines with no reachable termination path",
+		runModule: runGoroleak,
+	}
+}
+
+func runGoroleak(g *graph, p *Package) []Finding {
+	return g.moduleFindings("goroleak", goroleakFindings, p)
+}
+
+func goroleakFindings(g *graph) []taggedFinding {
+	var out []taggedFinding
+	for _, n := range g.nodes {
+		for _, gs := range n.goSites {
+			if gs.entry == nil || gs.entry.neverRet == nil {
+				continue
+			}
+			f := Finding{
+				Pos:   n.p.position(gs.pos),
+				Check: "goroleak",
+				Message: fmt.Sprintf(
+					"goroutine never terminates: %s: give the loop an exit (stop flag, done channel, or bounded condition)",
+					renderForeverChain(gs.entry)),
+			}
+			out = append(out, taggedFinding{pkg: n.p, f: f})
+		}
+	}
+	return out
+}
+
+// renderForeverChain renders the witness path from the goroutine entry
+// down to the offending loop, "entry -> worker loops forever (file.go:12)".
+func renderForeverChain(n *funcNode) string {
+	var parts []string
+	seen := make(map[*funcNode]bool)
+	for n != nil && n.neverRet != nil && !seen[n] {
+		seen[n] = true
+		if n.neverRet.next == nil {
+			pos := n.p.Fset.Position(n.neverRet.pos)
+			parts = append(parts, fmt.Sprintf("%s loops forever (%s:%d)",
+				n.name, filepath.Base(pos.Filename), pos.Line))
+			break
+		}
+		parts = append(parts, n.name)
+		n = n.neverRet.next
+	}
+	return strings.Join(parts, " -> ")
+}

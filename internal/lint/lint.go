@@ -56,6 +56,11 @@ type Check struct {
 	Doc string
 	// Run reports the check's findings for one package.
 	Run func(p *Package) []Finding
+	// runModule, when set, makes this an interprocedural check: it runs
+	// against the module-wide call graph built over every analyzed
+	// package and reports the findings attributable to p. Exactly one of
+	// Run and runModule is set.
+	runModule func(g *graph, p *Package) []Finding
 }
 
 // Checks returns every registered check, in reporting order.
@@ -64,6 +69,9 @@ func Checks() []Check {
 		wallclockCheck(),
 		atomicsCheck(),
 		lockholdCheck(),
+		lockorderCheck(),
+		lockholdtCheck(),
+		goroleakCheck(),
 		globalrandCheck(),
 		errdropCheck(),
 		chaosnameCheck(),
@@ -80,21 +88,46 @@ func checkNames() map[string]bool {
 }
 
 // Analyze runs checks over pkgs, applies //lint:allow suppression, and
-// returns the surviving findings sorted by position.
+// returns the surviving findings sorted by position. Interprocedural
+// checks see a call graph spanning exactly pkgs: the ./... invocation
+// (CI) covers every cross-package chain; a single-directory run only
+// sees chains inside that package.
+//
+// A //lint:allow directive that names a check which ran but suppressed
+// nothing is itself reported (check "allow"): dead annotations
+// otherwise accumulate and hide real regressions at the same site.
 func Analyze(pkgs []*Package, checks []Check) []Finding {
 	var out []Finding
 	valid := checkNames()
+	var g *graph
+	for _, c := range checks {
+		if c.runModule != nil {
+			g = buildGraph(pkgs)
+			break
+		}
+	}
+	ran := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		ran[c.Name] = true
+	}
 	for _, p := range pkgs {
 		allows, bad := collectAllows(p, valid)
 		out = append(out, bad...)
 		for _, c := range checks {
-			for _, f := range c.Run(p) {
+			var fs []Finding
+			if c.runModule != nil {
+				fs = c.runModule(g, p)
+			} else {
+				fs = c.Run(p)
+			}
+			for _, f := range fs {
 				if allows.suppressed(f) {
 					continue
 				}
 				out = append(out, f)
 			}
 		}
+		out = append(out, allows.stale(ran)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

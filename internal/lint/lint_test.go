@@ -165,6 +165,29 @@ func TestAllowDirectiveValidation(t *testing.T) {
 	}
 }
 
+// TestStaleAllowAudit checks both halves of the stale-suppression
+// audit: a directive that suppresses nothing for a check that ran is
+// reported, and directives for checks that did NOT run are left alone
+// (a partial invocation must not condemn annotations it never
+// exercised — TestAllowDirectiveValidation relies on that too).
+func TestStaleAllowAudit(t *testing.T) {
+	p := loadFixture(t, "allowstale")
+	findings := Analyze([]*Package{p}, []Check{lockholdCheck()})
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the stale-directive finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Check != "allow" {
+		t.Errorf("stale finding carries check %q, want allow: %s", f.Check, f)
+	}
+	if !strings.Contains(f.Message, "stale directive") || !strings.Contains(f.Message, "lockhold") {
+		t.Errorf("stale finding should name the directive and check: %s", f)
+	}
+	if got := Analyze([]*Package{p}, nil); len(got) != 0 {
+		t.Errorf("audit must stay quiet when the named check did not run, got %v", got)
+	}
+}
+
 // TestFindingFormat pins the canonical output shape the CI gate greps.
 func TestFindingFormat(t *testing.T) {
 	p := loadFixture(t, "globalrand")

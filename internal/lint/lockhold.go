@@ -64,7 +64,8 @@ func (lh *lockholder) stmts(list []ast.Stmt, held map[string]token.Pos) {
 	for _, st := range list {
 		switch s := st.(type) {
 		case *ast.ExprStmt:
-			if key, method, ok := lh.mutexCall(s.X); ok {
+			if msel, method, ok := mutexCall(lh.p, s.X); ok {
+				key := exprString(lh.p, msel.X)
 				switch method {
 				case "Lock", "RLock":
 					held[key] = s.Pos()
@@ -135,8 +136,16 @@ func (lh *lockholder) stmts(list []ast.Stmt, held map[string]token.Pos) {
 				}
 			}
 		case *ast.SelectStmt:
-			if len(held) > 0 {
+			// A select WITH a default clause polls and proceeds — the
+			// MemCache replication taps do exactly that under the store
+			// lock, deliberately. Only a default-less select parks.
+			if len(held) > 0 && !selectHasDefault(s) {
 				lh.report(s.Pos(), "select (channel operations)", held)
+			}
+			for _, cc := range s.Body.List {
+				if clause, ok := cc.(*ast.CommClause); ok {
+					lh.stmts(clause.Body, copyHeld(held))
+				}
 			}
 		case *ast.LabeledStmt:
 			lh.stmts([]ast.Stmt{s.Stmt}, held)
@@ -171,10 +180,12 @@ func (lh *lockholder) inspect(node ast.Node, held map[string]token.Pos) {
 				lh.report(x.Pos(), "channel receive", held)
 			}
 		case *ast.SelectStmt:
-			lh.report(x.Pos(), "select (channel operations)", held)
+			if !selectHasDefault(x) {
+				lh.report(x.Pos(), "select (channel operations)", held)
+			}
 			return false
 		case *ast.CallExpr:
-			if desc, ok := lh.blockingCall(x); ok {
+			if desc, ok := blockingCall(lh.p, x); ok {
 				lh.report(x.Pos(), desc, held)
 			}
 		}
@@ -202,67 +213,7 @@ func (lh *lockholder) report(pos token.Pos, what string, held map[string]token.P
 	})
 }
 
-// mutexCall matches expr against X.Lock/Unlock/RLock/RUnlock() where
-// the method belongs to sync (Mutex or RWMutex, embedded included) and
-// returns the lexical key for X.
-func (lh *lockholder) mutexCall(expr ast.Expr) (key, method string, ok bool) {
-	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
-	if !isCall {
-		return "", "", false
-	}
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	name := sel.Sel.Name
-	switch name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	fn, isFn := lh.p.Info.Uses[sel.Sel].(*types.Func)
-	if !isFn || funcPkgPath(fn) != "sync" {
-		return "", "", false
-	}
-	return exprString(lh.p, sel.X), name, true
-}
-
-// blockingCall reports whether call is an operation that can block for
-// an unbounded or externally controlled time: a cache.Cache /
-// cache.Client data op (a network round trip with retries and
-// backoff), a cache dial, or time.Sleep. MemCache is exempt — its ops
-// are short in-memory critical sections.
-func (lh *lockholder) blockingCall(call *ast.CallExpr) (string, bool) {
-	fn := calleeFunc(lh.p, call)
-	if fn == nil {
-		return "", false
-	}
-	path := funcPkgPath(fn)
-	if path == "time" && fn.Name() == "Sleep" {
-		return "time.Sleep", true
-	}
-	if !isCachePkg(path) {
-		return "", false
-	}
-	sig := fn.Type().(*types.Signature)
-	if sig.Recv() == nil {
-		if fn.Name() == "Dial" || fn.Name() == "DialWith" {
-			return "cache." + fn.Name() + " (network dial)", true
-		}
-		return "", false
-	}
-	switch fn.Name() {
-	case "Put", "Get", "Delete", "Incr", "Keys", "Len":
-	default:
-		return "", false
-	}
-	named := recvNamed(lh.p, call)
-	if named != nil && named.Obj().Name() == "MemCache" {
-		return "", false
-	}
-	recv := "cache.Client"
-	if named != nil {
-		recv = named.Obj().Name()
-	}
-	return fmt.Sprintf("blocking %s.%s call", recv, fn.Name()), true
-}
+// The shared mutexCall / blockingCall definitions live in util.go and
+// blockset.go: the blocking set is derived from the cache.Conn
+// interface so this lexical check and the interprocedural lockholdt
+// check cannot drift apart.

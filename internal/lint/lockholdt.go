@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The lockholdt check is the interprocedural generalization of
+// lockhold: a call made while a mutex is held is flagged when the
+// callee *transitively* reaches a blocking operation — a channel op, a
+// default-less select, time.Sleep, a WaitGroup/Cond wait, net.Conn
+// I/O, or a cache.Conn round trip — even when the operation is buried
+// several frames deep. The lexical check already reports calls that
+// are themselves blocking (the shared blockset), so this check skips
+// those and reports only the chains lexical analysis cannot see,
+// printing the full path down to the operation.
+//
+// The MemCache exemption carries over via the shared blockset, and a
+// select with a default clause is non-blocking in both checks (the
+// replication taps poll under the store lock by design).
+func lockholdtCheck() Check {
+	return Check{
+		Name:      "lockholdt",
+		Doc:       "no calls that transitively reach a blocking operation while a sync.Mutex is held",
+		runModule: runLockholdt,
+	}
+}
+
+func runLockholdt(g *graph, p *Package) []Finding {
+	return g.moduleFindings("lockholdt", lockholdtFindings, p)
+}
+
+func lockholdtFindings(g *graph) []taggedFinding {
+	var out []taggedFinding
+	for _, n := range g.nodes {
+		for _, cs := range n.calls {
+			if len(cs.held) == 0 || cs.deferred || cs.direct != "" {
+				continue
+			}
+			if cs.callee == nil || cs.callee.mayBlock == nil {
+				continue
+			}
+			disps := make([]string, 0, len(cs.held))
+			for _, h := range cs.held {
+				disps = append(disps, h.disp)
+			}
+			sort.Strings(disps)
+			f := Finding{
+				Pos:   n.p.position(cs.pos),
+				Check: "lockholdt",
+				Message: fmt.Sprintf(
+					"call to %s while holding %s transitively blocks: %s",
+					cs.callee.name, strings.Join(disps, ", "),
+					renderBlockChain(cs.callee, n.p.Fset)),
+			}
+			out = append(out, taggedFinding{pkg: n.p, f: f})
+		}
+	}
+	return out
+}

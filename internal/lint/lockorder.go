@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The lockorder check computes, for every function in the module, which
+// lock classes are held at each acquisition and call site, projects the
+// transitive everLocks fact through call chains, and reports any cycle
+// in the resulting acquisition-order graph. A cycle A -> B -> A means
+// one code path takes A then B while another takes B then A: two
+// goroutines interleaving those paths deadlock. A self-edge (acquiring
+// a class already held) is reported separately — sync mutexes are not
+// reentrant, and two instances of one class taken in opposite orders
+// deadlock the same way.
+//
+// Edges never cross a `go` statement (a spawned goroutine does not hold
+// the spawner's locks) and deferred calls contribute everLocks facts
+// but no held-based edges (their execution point relative to deferred
+// unlocks is out of scope for the lexical held model).
+func lockorderCheck() Check {
+	return Check{
+		Name:      "lockorder",
+		Doc:       "no cycles in the cross-function mutex acquisition order (AB/BA deadlocks)",
+		runModule: runLockorder,
+	}
+}
+
+// lockEdge is one observed acquisition "to while holding from".
+type lockEdge struct {
+	from, to         string
+	fromDisp, toDisp string
+	fromWrite        bool
+	toWrite          bool
+	pos              token.Pos
+	node             *funcNode
+	via              *funcNode // non-nil: `to` acquired inside this callee
+}
+
+func runLockorder(g *graph, p *Package) []Finding {
+	return g.moduleFindings("lockorder", lockorderFindings, p)
+}
+
+func lockorderFindings(g *graph) []taggedFinding {
+	edges := collectLockEdges(g)
+	var out []taggedFinding
+
+	// Deterministic witness per (from, to): the lexically first edge.
+	witness := make(map[[2]string]lockEdge)
+	adj := make(map[string]map[string]bool)
+	var fset *token.FileSet
+	for _, e := range edges {
+		fset = e.node.p.Fset
+		key := [2]string{e.from, e.to}
+		if w, ok := witness[key]; !ok || posLess(fset, e.pos, w.pos) {
+			witness[key] = e
+		}
+		if e.from != e.to {
+			if adj[e.from] == nil {
+				adj[e.from] = make(map[string]bool)
+			}
+			adj[e.from][e.to] = true
+		}
+	}
+
+	// Self-edges: recursive acquisition of an already-held class. An
+	// RLock while only RLocks are held is shared and common; everything
+	// involving a write lock can deadlock.
+	for key, e := range witness {
+		if key[0] != key[1] || (!e.fromWrite && !e.toWrite) {
+			continue
+		}
+		f := Finding{
+			Pos:   e.node.p.position(e.pos),
+			Check: "lockorder",
+			Message: fmt.Sprintf(
+				"%s acquired while an instance of the same lock class is already held%s: sync mutexes are not reentrant, and two instances taken in opposite orders deadlock",
+				e.toDisp, viaSuffix(e)),
+		}
+		out = append(out, taggedFinding{pkg: e.node.p, f: f})
+	}
+
+	// Cycles among distinct classes: one finding per strongly connected
+	// component, anchored at the first edge of a representative cycle.
+	for _, cyc := range findCycles(adj) {
+		first := witness[[2]string{cyc[0], cyc[1]}]
+		var parts []string
+		for i := 0; i+1 < len(cyc); i++ {
+			e := witness[[2]string{cyc[i], cyc[i+1]}]
+			pos := e.node.p.Fset.Position(e.pos)
+			parts = append(parts, fmt.Sprintf("%s -> %s at %s:%d%s",
+				e.fromDisp, e.toDisp, filepath.Base(pos.Filename), pos.Line, viaSuffix(e)))
+		}
+		f := Finding{
+			Pos:   first.node.p.position(first.pos),
+			Check: "lockorder",
+			Message: fmt.Sprintf("lock order cycle: %s: goroutines interleaving these paths deadlock",
+				strings.Join(parts, "; ")),
+		}
+		out = append(out, taggedFinding{pkg: first.node.p, f: f})
+	}
+	return out
+}
+
+func viaSuffix(e lockEdge) string {
+	if e.via == nil {
+		return ""
+	}
+	return " (in " + e.node.name + " via " + renderLockChain(e.via, e.to) + ")"
+}
+
+func collectLockEdges(g *graph) []lockEdge {
+	var edges []lockEdge
+	for _, n := range g.nodes {
+		for _, a := range n.acquires {
+			if a.canon == "" {
+				continue
+			}
+			for _, h := range a.held {
+				if h.canon == "" {
+					continue
+				}
+				edges = append(edges, lockEdge{
+					from: h.canon, to: a.canon,
+					fromDisp: h.disp, toDisp: a.disp,
+					fromWrite: h.write, toWrite: a.write,
+					pos: a.pos, node: n,
+				})
+			}
+		}
+		for _, cs := range n.calls {
+			if cs.callee == nil || cs.deferred || len(cs.held) == 0 {
+				continue
+			}
+			canons := make([]string, 0, len(cs.callee.everLocks))
+			for canon := range cs.callee.everLocks {
+				canons = append(canons, canon)
+			}
+			sort.Strings(canons)
+			for _, canon := range canons {
+				ref := cs.callee.everLocks[canon]
+				for _, h := range cs.held {
+					if h.canon == "" {
+						continue
+					}
+					edges = append(edges, lockEdge{
+						from: h.canon, to: canon,
+						fromDisp: h.disp, toDisp: ref.disp,
+						fromWrite: h.write, toWrite: ref.write,
+						pos: cs.pos, node: n, via: cs.callee,
+					})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// findCycles returns one representative cycle per strongly connected
+// component of size >= 2, as a class path [a, b, ..., a], ordered
+// deterministically (components and steps by smallest class name).
+func findCycles(adj map[string]map[string]bool) [][]string {
+	classes := make([]string, 0, len(adj))
+	seenClass := make(map[string]bool)
+	add := func(c string) {
+		if !seenClass[c] {
+			seenClass[c] = true
+			classes = append(classes, c)
+		}
+	}
+	for from, tos := range adj {
+		add(from)
+		for to := range tos {
+			add(to)
+		}
+	}
+	sort.Strings(classes)
+
+	// Tarjan's SCC, iterative enough for our sizes via recursion.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := make([]string, 0, len(adj[v]))
+		for to := range adj[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) >= 2 {
+				sort.Strings(comp)
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, c := range classes {
+		if _, ok := index[c]; !ok {
+			strongconnect(c)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+
+	// Extract one cycle per component: DFS from the smallest class,
+	// restricted to the component, preferring smaller successors.
+	var cycles [][]string
+	for _, comp := range sccs {
+		inComp := make(map[string]bool, len(comp))
+		for _, c := range comp {
+			inComp[c] = true
+		}
+		start := comp[0]
+		path := []string{start}
+		visited := map[string]bool{start: true}
+		var dfs func(v string) bool
+		dfs = func(v string) bool {
+			tos := make([]string, 0, len(adj[v]))
+			for to := range adj[v] {
+				if inComp[to] {
+					tos = append(tos, to)
+				}
+			}
+			sort.Strings(tos)
+			for _, w := range tos {
+				if w == start && len(path) >= 2 {
+					path = append(path, start)
+					return true
+				}
+				if !visited[w] {
+					visited[w] = true
+					path = append(path, w)
+					if dfs(w) {
+						return true
+					}
+					path = path[:len(path)-1]
+				}
+			}
+			return false
+		}
+		if dfs(start) {
+			cycles = append(cycles, path)
+		}
+	}
+	return cycles
+}

@@ -1,0 +1,22 @@
+// Package allowstale is a lint fixture for the stale-suppression
+// audit: a //lint:allow directive that suppresses nothing for a check
+// that actually ran is itself a finding, so dead annotations cannot
+// accumulate.
+package allowstale
+
+import "sync"
+
+type t struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (x *t) used() {
+	x.mu.Lock()
+	x.ch <- 1 //lint:allow lockhold drained by the paired test goroutine
+	x.mu.Unlock()
+}
+
+func (x *t) stale() {
+	x.ch <- 1 //lint:allow lockhold nothing is held here, the directive is dead
+}

@@ -1,0 +1,79 @@
+// Package goroleak is a lint fixture: go statements must launch
+// goroutines with a reachable termination path.
+package goroleak
+
+import "sync/atomic"
+
+type w struct {
+	stop atomic.Bool
+	done chan struct{}
+	ch   chan int
+	n    int
+}
+
+// spin never returns.
+func (x *w) spin() {
+	for {
+		x.n++
+	}
+}
+
+// wrapper reaches spin through an unconditional top-level call.
+func (x *w) wrapper() {
+	x.spin()
+}
+
+func trueLoop() {
+	for true {
+	}
+}
+
+func (x *w) bad() {
+	go x.spin() // want "goroutine never terminates"
+	go func() { // want "goroutine never terminates"
+		for {
+			x.n++
+		}
+	}()
+	go x.wrapper() // want "goroutine never terminates"
+	go trueLoop()  // want "goroutine never terminates"
+}
+
+func (x *w) fine() {
+	go func() { // fine: condition loop observes the stop flag
+		for !x.stop.Load() {
+			x.n++
+		}
+	}()
+	go func() { // fine: bounded loop
+		for i := 0; i < 10; i++ {
+			x.n++
+		}
+	}()
+	go func() { // fine: range over channel ends when the channel closes
+		for range x.ch {
+			x.n++
+		}
+	}()
+	go func() { // fine: the select case returns
+		for {
+			select {
+			case <-x.done:
+				return
+			case v := <-x.ch:
+				x.n += v
+			}
+		}
+	}()
+	go func() { // fine: break leaves the loop
+		for {
+			if x.stop.Load() {
+				break
+			}
+		}
+	}()
+}
+
+func (x *w) daemon() {
+	go x.spin() //lint:allow goroleak process-lifetime daemon, reaped only at exit by design
+}

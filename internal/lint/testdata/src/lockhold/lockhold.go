@@ -13,8 +13,10 @@ import (
 type box struct {
 	mu  sync.Mutex
 	rw  sync.RWMutex
+	wg  sync.WaitGroup
 	ch  chan int
 	cli cache.Cache
+	cn  cache.Conn
 	mem *cache.MemCache
 	n   int
 }
@@ -26,6 +28,8 @@ func (b *box) bad() {
 	_ = v
 	_ = b.cli.Put("k", nil)      // want "blocking Cache.Put call while holding b.mu"
 	_, _ = b.cli.Get("k")        // want "blocking Cache.Get call while holding b.mu"
+	_ = b.cn.PutN(nil)           // want "blocking Conn.PutN call while holding b.mu"
+	b.wg.Wait()                  // want "sync.WaitGroup.Wait while holding b.mu"
 	time.Sleep(time.Millisecond) // want "time.Sleep while holding b.mu"
 	b.mu.Unlock()
 	b.ch <- 2 // fine: after the unlock
@@ -36,7 +40,16 @@ func (b *box) deferred() {
 	defer b.mu.Unlock()
 	select { // want "select (channel operations) while holding b.mu"
 	case b.ch <- 1:
+	}
+}
+
+func (b *box) selectWithDefault() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // fine: a default clause means the select polls, never parks
+	case b.ch <- 1:
 	default:
+		b.n++
 	}
 }
 

@@ -1,0 +1,159 @@
+// Package lockorder is a lint fixture: the cross-function mutex
+// acquisition graph must be acyclic, and no lock class may be
+// re-acquired while an instance of it is already held.
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// ab and ba form an AB/BA cycle inside single functions.
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want "lock order cycle"
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type inter struct {
+	c sync.Mutex
+	d sync.Mutex
+	n int
+}
+
+// cThenD and dThenC form the same cycle, but each second acquisition
+// is hidden one call deep — the purely lexical analysis cannot see it.
+func (i *inter) lockD() {
+	i.d.Lock()
+	i.n++
+	i.d.Unlock()
+}
+
+func (i *inter) cThenD() {
+	i.c.Lock()
+	i.lockD() // want "via lockorder.inter.lockD"
+	i.c.Unlock()
+}
+
+func (i *inter) lockC() {
+	i.c.Lock()
+	i.n++
+	i.c.Unlock()
+}
+
+func (i *inter) dThenC() {
+	i.d.Lock()
+	i.lockC()
+	i.d.Unlock()
+}
+
+type rec struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *rec) bump() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *rec) relock() {
+	r.mu.Lock()
+	r.bump() // want "already held"
+	r.mu.Unlock()
+}
+
+type ok struct {
+	x sync.Mutex
+	y sync.Mutex
+	n int
+}
+
+// Consistent x -> y nesting everywhere: no cycle.
+func (o *ok) xThenY() {
+	o.x.Lock()
+	o.y.Lock() // fine: same order as every other x/y site
+	o.n++
+	o.y.Unlock()
+	o.x.Unlock()
+}
+
+func (o *ok) alsoXThenY() {
+	o.x.Lock()
+	defer o.x.Unlock()
+	o.y.Lock()
+	defer o.y.Unlock()
+	o.n++
+}
+
+func (o *ok) sequentialYThenX() {
+	o.y.Lock()
+	o.n++
+	o.y.Unlock()
+	o.x.Lock() // fine: y was released before x was taken
+	o.n++
+	o.x.Unlock()
+}
+
+func (o *ok) viaGoroutine() {
+	o.y.Lock()
+	go func() {
+		o.x.Lock() // fine: the goroutine does not hold the spawner's o.y
+		o.n++
+		o.x.Unlock()
+	}()
+	o.y.Unlock()
+}
+
+type shared struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (s *shared) read() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func (s *shared) readTwice() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.read() + s.n // fine: RLock under RLock is shared
+}
+
+type legacy struct {
+	e sync.Mutex
+	f sync.Mutex
+	n int
+}
+
+func (l *legacy) ef() {
+	l.e.Lock()
+	l.f.Lock() //lint:allow lockorder e/f interleave is fenced by the startup barrier, documented in the type comment
+	l.n++
+	l.f.Unlock()
+	l.e.Unlock()
+}
+
+func (l *legacy) fe() {
+	l.f.Lock()
+	l.e.Lock()
+	l.n++
+	l.e.Unlock()
+	l.f.Unlock()
+}

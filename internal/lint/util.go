@@ -69,6 +69,31 @@ func exprString(p *Package, e ast.Expr) string {
 	return buf.String()
 }
 
+// mutexCall matches expr against X.Lock/Unlock/RLock/RUnlock() where
+// the method belongs to sync (Mutex or RWMutex, embedded included) and
+// returns the method selector (msel.X is the lock operand).
+func mutexCall(p *Package, expr ast.Expr) (msel *ast.SelectorExpr, method string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return nil, "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	fn, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || funcPkgPath(fn) != "sync" {
+		return nil, "", false
+	}
+	return sel, name, true
+}
+
 // errorReturning reports whether f's last result is error.
 func errorReturning(f *types.Func) bool {
 	sig, ok := f.Type().(*types.Signature)

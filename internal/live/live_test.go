@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"stellaris/internal/cache"
+	"stellaris/internal/leaktest"
 )
 
 func tinyOpts() Options {
@@ -16,6 +17,7 @@ func tinyOpts() Options {
 }
 
 func TestLiveTrainCompletes(t *testing.T) {
+	leaktest.Check(t)
 	rep, err := Train(tinyOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -68,6 +70,7 @@ func TestLiveTrainWeightsEvolve(t *testing.T) {
 }
 
 func TestLiveTrainExternalCache(t *testing.T) {
+	leaktest.Check(t)
 	srv := cache.NewServer(nil)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"stellaris/internal/cache"
+	"stellaris/internal/leaktest"
 	"stellaris/internal/obs"
 )
 
@@ -42,6 +43,7 @@ func weightsEqual(a, b []float64) bool {
 // TestLockstepDeterministic is the foundation the resume proof stands
 // on: two identical seeded lockstep runs must agree bit for bit.
 func TestLockstepDeterministic(t *testing.T) {
+	leaktest.Check(t)
 	r1, err := Train(lockOpts(t.TempDir()))
 	if err != nil {
 		t.Fatal(err)
@@ -134,6 +136,7 @@ func TestResumeFingerprintMismatch(t *testing.T) {
 }
 
 func TestAsyncCheckpointAndResume(t *testing.T) {
+	leaktest.Check(t)
 	dir := t.TempDir()
 	opt := tinyOpts()
 	opt.CheckpointDir = dir
@@ -218,6 +221,7 @@ func TestResumeFromCacheMirror(t *testing.T) {
 }
 
 func TestSupervisorRestartsWorkers(t *testing.T) {
+	leaktest.Check(t)
 	var actorPanics, learnerPanics atomic.Int64
 	opt := tinyOpts()
 	opt.Updates = 2

@@ -9,11 +9,14 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"stellaris/internal/leaktest"
 )
 
 // TestHTTPExpositionRoundTrip serves a registry over a real listener
 // and reads every exposition path back.
 func TestHTTPExpositionRoundTrip(t *testing.T) {
+	leaktest.Check(t)
 	reg := NewRegistry()
 	reg.CounterVec("live_dropped_payloads_total", "sheds", "reason").With("put-failed").Add(3)
 	reg.Histogram("cache_client_op_seconds", "rtt", nil).Observe(0.002)
@@ -82,6 +85,7 @@ func TestHTTPExpositionRoundTrip(t *testing.T) {
 }
 
 func TestDumpAndStartDump(t *testing.T) {
+	leaktest.Check(t)
 	dir := filepath.Join(t.TempDir(), "obs")
 	reg := NewRegistry()
 	reg.Counter("updates_total", "").Add(9)
