@@ -53,9 +53,10 @@ leaktest:
 # Heavy chaos drills under the race detector, WITHOUT -short: fault
 # proxy at aggressive rates, AOF compaction under concurrent load, the
 # learner-panic + server-bounce drill (see DESIGN.md "Crash
-# recovery"), and the cluster shard-kill failover drill (DESIGN.md
-# §11: one shard leader hard-killed mid-run, follower promoted). The
-# suite is selected by NAME, not a hand-maintained
+# recovery"), and the cluster drills (DESIGN.md §11): shard-kill
+# failover, the asymmetric-partition drill (deposed leader fenced by
+# term, §11.5) and the brownout drill (gray failure detected and
+# evacuated, §11.6). The suite is selected by NAME, not a hand-maintained
 # regexp: every testing.Short()-gated drill in these packages must be
 # called TestChaos* — stellaris-lint's chaosname check enforces it, so
 # a new drill cannot silently miss this target. The fast

@@ -19,6 +19,14 @@
 //
 //	stellaris-cached -addr :6380 -fault-addr :6381 -fault-drop 0.05 -fault-close 0.01
 //
+// The proxy also scripts the two structured failure shapes (ISSUE 9):
+// an asymmetric partition that blackholes one direction after N request
+// frames, and a brownout window that floors per-chunk latency without
+// injecting a single error — the gray failure a liveness probe misses.
+//
+//	stellaris-cached -addr :6380 -fault-partition-after 100 -fault-partition-drop s2c
+//	stellaris-cached -addr :6380 -fault-brownout-after 100 -fault-brownout-floor 25ms -fault-brownout-for 10s
+//
 // In a sharded cluster (DESIGN.md §11) each shard runs one leader plus
 // an optional follower. A follower serves reads and writes like any
 // server but also streams the leader's op log into its own store, so it
@@ -26,8 +34,11 @@
 //
 //	stellaris-cached -addr :6390 -shard-id 0 -follower-of 127.0.0.1:6380
 //
-// -shard-id only labels the process (log lines and obs info); key
-// routing is client-side, driven by the topology document. SIGHUP
+// -shard-id labels the process (log lines and obs info) AND arms write
+// fencing: a server that knows its shard ID learns its leadership term
+// from topology-document writes, so after a promotion it refuses
+// term-stamped writes from clients still holding the stale view. Key
+// routing stays client-side, driven by the topology document. SIGHUP
 // promotes a follower: replication stops, so a resurrected old leader
 // can no longer reset the promoted store. Clients promote on their own
 // when the leader stops answering — the signal is for operators driving
@@ -58,6 +69,12 @@ func main() {
 	faultCorrupt := flag.Float64("fault-corrupt", 0, "chaos proxy: per-chunk corruption probability")
 	faultClose := flag.Float64("fault-close", 0, "chaos proxy: per-chunk connection-close probability")
 	faultSeed := flag.Uint64("fault-seed", 1, "chaos proxy: fault RNG seed")
+	partAfter := flag.Int64("fault-partition-after", 0, "chaos proxy: partition after this many request frames (0 disables)")
+	partDrop := flag.String("fault-partition-drop", "s2c", "chaos proxy: partition direction to blackhole (c2s or s2c)")
+	partFor := flag.Duration("fault-partition-for", 0, "chaos proxy: partition duration (0 = until the process exits)")
+	brownAfter := flag.Int64("fault-brownout-after", 0, "chaos proxy: brownout after this many request frames (0 disables)")
+	brownFloor := flag.Duration("fault-brownout-floor", 25*time.Millisecond, "chaos proxy: per-chunk latency floor during the brownout")
+	brownFor := flag.Duration("fault-brownout-for", 0, "chaos proxy: brownout duration (0 = until the process exits)")
 	followerOf := flag.String("follower-of", "", "replicate from this leader address (promote with SIGHUP)")
 	shardID := flag.Int("shard-id", -1, "shard label for log lines and metrics (-1 = unsharded)")
 	flag.Parse()
@@ -77,6 +94,11 @@ func main() {
 		store = cache.NewMemCache()
 	}
 	srv := cache.NewServer(store)
+	if *shardID >= 0 {
+		// Arms write fencing: the server learns its leadership term from
+		// topology writes and refuses stale term-stamped writes.
+		srv.SetShardID(*shardID)
+	}
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
 		srv.Instrument(reg)
@@ -133,16 +155,33 @@ func main() {
 		}()
 	}
 
+	cfg := cache.FaultConfig{
+		DropRate:    *faultDrop,
+		DelayRate:   *faultDelay,
+		MaxDelay:    *faultMaxDelay,
+		CorruptRate: *faultCorrupt,
+		CloseRate:   *faultClose,
+		Seed:        *faultSeed,
+	}
+	if *partAfter > 0 {
+		dir := cache.ServerToClient
+		if *partDrop == "c2s" {
+			dir = cache.ClientToServer
+		} else if *partDrop != "s2c" {
+			fmt.Fprintf(os.Stderr, "stellaris-cached: -fault-partition-drop must be c2s or s2c, got %q\n", *partDrop)
+			os.Exit(2)
+		}
+		cfg.Partitions = []cache.Partition{{AfterOps: *partAfter, Drop: dir, For: *partFor}}
+	}
+	if *brownAfter > 0 {
+		cfg.Brownouts = []cache.Brownout{{AfterOps: *brownAfter, Floor: *brownFloor, For: *brownFor}}
+	}
 	var proxy *cache.FaultProxy
-	if *faultDrop > 0 || *faultDelay > 0 || *faultCorrupt > 0 || *faultClose > 0 {
-		proxy = cache.NewFaultProxy(bound, cache.FaultConfig{
-			DropRate:    *faultDrop,
-			DelayRate:   *faultDelay,
-			MaxDelay:    *faultMaxDelay,
-			CorruptRate: *faultCorrupt,
-			CloseRate:   *faultClose,
-			Seed:        *faultSeed,
-		})
+	// The proxy comes up whenever any fault is configured — random
+	// per-chunk rates OR a scheduled partition/brownout window.
+	if *faultDrop > 0 || *faultDelay > 0 || *faultCorrupt > 0 || *faultClose > 0 ||
+		*partAfter > 0 || *brownAfter > 0 {
+		proxy = cache.NewFaultProxy(bound, cfg)
 		pbound, err := proxy.Listen(*faultAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stellaris-cached: chaos proxy:", err)
@@ -161,6 +200,10 @@ func main() {
 		st := proxy.Stats()
 		fmt.Printf("chaos proxy injected: %d drops, %d delays, %d corruptions, %d closes over %d conns\n",
 			st.Drops, st.Delays, st.Corruptions, st.Closes, st.Conns)
+		if st.Partitions > 0 || st.Brownouts > 0 {
+			fmt.Printf("chaos proxy scheduled: %d partitions (%d chunks dropped), %d brownouts (%d chunks held)\n",
+				st.Partitions, st.PartitionDrops, st.Brownouts, st.BrownoutHolds)
+		}
 		if err := proxy.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "stellaris-cached: chaos proxy close:", err)
 		}

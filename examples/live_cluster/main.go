@@ -24,6 +24,16 @@
 // weights head mid-run to demonstrate follower failover — the summary's
 // cluster line shows the failovers the workers rode through.
 //
+// Two softer drills exercise the PR 9 robustness stack end to end:
+// -partition-shard-after asymmetrically partitions the head shard
+// (requests land, responses blackhole — the deposed-leader shape write
+// fencing exists for), and -brownout-shard-after slows it down without
+// a single error (the gray failure -degrade-latency detects). Both need
+// -shard-followers:
+//
+//	live_cluster -shards 3 -shard-followers -partition-shard-after 2s
+//	live_cluster -shards 3 -shard-followers -brownout-shard-after 2s -degrade-latency 25ms -hedge-reads
+//
 // -obs-addr serves live metrics (Prometheus text at /metrics, JSON at
 // /metrics.json, spans at /trace.json, pprof under /debug/pprof/) while
 // the run is in flight; -obs-dir periodically dumps the same snapshots
@@ -55,6 +65,7 @@ func main() {
 	var shards int
 	var shardFollowers bool
 	var killShardAfter time.Duration
+	var partitionShardAfter, brownoutShardAfter, brownoutFloor time.Duration
 	flag.StringVar(&opt.CacheAddr, "cache", "", "stellaris-cached address (empty = in-process)")
 	flag.StringVar(&opt.Env, "env", "cartpole", "environment")
 	flag.IntVar(&opt.Actors, "actors", 4, "actor workers")
@@ -79,6 +90,15 @@ func main() {
 	flag.IntVar(&shards, "shards", 0, "self-host a sharded cache cluster with this many shards (0 = single cache; incompatible with -cache and -chaos)")
 	flag.BoolVar(&shardFollowers, "shard-followers", false, "give every self-hosted shard a replicating follower (enables failover)")
 	flag.DurationVar(&killShardAfter, "kill-shard-after", 0, "failover drill: hard-kill the shard owning the weights head this long into the run (needs -shard-followers)")
+	flag.DurationVar(&partitionShardAfter, "partition-shard-after", 0, "partition drill: blackhole the head shard's responses this long into the run (needs -shard-followers)")
+	flag.DurationVar(&brownoutShardAfter, "brownout-shard-after", 0, "brownout drill: floor the head shard's per-chunk latency this long into the run (needs -shard-followers)")
+	flag.DurationVar(&brownoutFloor, "brownout-floor", 40*time.Millisecond, "brownout drill: per-chunk latency floor")
+	flag.DurationVar(&opt.CacheDegradeLatency, "degrade-latency", 0, "evacuate a shard whose latency EWMA crosses this (0 disables gray-failure detection)")
+	flag.IntVar(&opt.CacheDegradeWindow, "degrade-window", 0, "gray-failure observation window in ops (0 = default 16)")
+	flag.BoolVar(&opt.CacheHedgeReads, "hedge-reads", false, "race reads against the follower once a shard is suspect (half of -degrade-latency)")
+	flag.IntVar(&opt.CacheBreakerThreshold, "breaker-threshold", 0, "open a per-shard circuit breaker after this many consecutive transport failures (0 disables)")
+	flag.Float64Var(&opt.CacheRetryRate, "retry-rate", 0, "global cache retry budget in tokens/second shared across workers (0 = unbudgeted)")
+	flag.IntVar(&opt.CacheRetryBurst, "retry-burst", 0, "retry budget bucket depth (0 = derived from -retry-rate)")
 	flag.StringVar(&obsAddr, "obs-addr", "", "metrics/pprof HTTP address (e.g. :9090; empty disables)")
 	flag.StringVar(&obsDir, "obs-dir", "", "periodically dump metrics.{json,csv,prom} here")
 	flag.DurationVar(&obsEvery, "obs-every", 5*time.Second, "dump interval for -obs-dir")
@@ -143,21 +163,46 @@ func main() {
 		if opt.CacheAddr != "" || chaos > 0 {
 			log.Fatal("-shards self-hosts the cache cluster; it is incompatible with -cache and -chaos")
 		}
+		// The partition/brownout drills need a fault proxy in front of
+		// every leader, so the drill can fault the data plane while
+		// replication (leader→follower, dialed directly) keeps flowing.
+		drill := partitionShardAfter > 0 || brownoutShardAfter > 0
 		topo := &cluster.Topology{Version: 1}
 		leaders := make([]*cache.Server, shards)
 		replicas := make([]*cache.Replica, shards)
+		proxies := make([]*cache.FaultProxy, shards)
 		for i := 0; i < shards; i++ {
 			srv := cache.NewServer(nil)
+			// The shard ID arms write fencing: after a promotion the
+			// deposed leader refuses writes stamped with the stale term.
+			srv.SetShardID(i)
 			addr, err := srv.Listen("127.0.0.1:0")
 			if err != nil {
 				log.Fatal(err)
 			}
 			defer srv.Close()
 			leaders[i] = srv
-			sh := cluster.Shard{ID: i, Addr: addr}
+			shardAddr := addr
+			if drill {
+				proxy := cache.NewFaultProxy(addr, cache.FaultConfig{Seed: opt.Seed + uint64(100+i)})
+				paddr, err := proxy.Listen("127.0.0.1:0")
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer proxy.Close()
+				proxies[i] = proxy
+				shardAddr = paddr
+			}
+			sh := cluster.Shard{ID: i, Addr: shardAddr}
+			if !opt.Lockstep {
+				// Term 1 arms fenced writes. Lockstep keeps term 0: the
+				// envelope would change the deterministic wire schedule.
+				sh.Term = 1
+			}
 			if shardFollowers {
 				fstore := cache.NewMemCache()
 				fsrv := cache.NewServer(fstore)
+				fsrv.SetShardID(i)
 				faddr, err := fsrv.Listen("127.0.0.1:0")
 				if err != nil {
 					log.Fatal(err)
@@ -173,15 +218,18 @@ func main() {
 		}
 		opt.Cluster = topo
 		fmt.Printf("self-hosted cache cluster: %d shards, followers %v\n", shards, shardFollowers)
-		if killShardAfter > 0 {
+		victimOf := func(drillFlag string) int {
 			if !shardFollowers {
-				log.Fatal("-kill-shard-after needs -shard-followers (nothing to fail over to)")
+				log.Fatalf("%s needs -shard-followers (nothing to fail over to)", drillFlag)
 			}
 			ring, err := cluster.NewRing(topo)
 			if err != nil {
 				log.Fatal(err)
 			}
-			victim := ring.Shard(cache.KeyWeightsHead)
+			return ring.Shard(cache.KeyWeightsHead)
+		}
+		if killShardAfter > 0 {
+			victim := victimOf("-kill-shard-after")
 			timer := time.AfterFunc(killShardAfter, func() {
 				_ = leaders[victim].Close()
 				replicas[victim].Promote()
@@ -190,8 +238,31 @@ func main() {
 			})
 			defer timer.Stop()
 		}
-	} else if shardFollowers || killShardAfter > 0 {
-		log.Fatal("-shard-followers and -kill-shard-after need -shards")
+		if partitionShardAfter > 0 {
+			victim := victimOf("-partition-shard-after")
+			timer := time.AfterFunc(partitionShardAfter, func() {
+				proxies[victim].PartitionNow(cache.ServerToClient, 0)
+				fmt.Printf("chaos: partitioned shard %d (owns %s) — responses blackholed; workers must fail over and fence the deposed leader\n",
+					victim, cache.KeyWeightsHead)
+			})
+			defer timer.Stop()
+		}
+		if brownoutShardAfter > 0 {
+			victim := victimOf("-brownout-shard-after")
+			if opt.CacheDegradeLatency <= 0 {
+				// Without the detector the run would just crawl; arm it at
+				// the floor so the browned-out shard is evacuated.
+				opt.CacheDegradeLatency = brownoutFloor
+			}
+			timer := time.AfterFunc(brownoutShardAfter, func() {
+				proxies[victim].BrownoutNow(brownoutFloor, 0)
+				fmt.Printf("chaos: browned out shard %d (owns %s) — per-chunk latency floored at %v, zero errors; gray-failure detection must evacuate it\n",
+					victim, cache.KeyWeightsHead, brownoutFloor)
+			})
+			defer timer.Stop()
+		}
+	} else if shardFollowers || killShardAfter > 0 || partitionShardAfter > 0 || brownoutShardAfter > 0 {
+		log.Fatal("-shard-followers and the shard drills need -shards")
 	}
 
 	rep, err := live.Train(opt)
@@ -206,8 +277,12 @@ func main() {
 		rep.CacheRetries, rep.CacheReconnects, rep.CacheTimeouts,
 		rep.StaleWeightReuses, rep.DroppedPayloads)
 	if rep.ShardFailovers+rep.WeightRegressions > 0 {
-		fmt.Printf("cluster: %d shard failovers, %d weight-head regressions ridden through\n",
-			rep.ShardFailovers, rep.WeightRegressions)
+		fmt.Printf("cluster: %d shard failovers (%d gray), %d weight-head regressions ridden through\n",
+			rep.ShardFailovers, rep.GrayFailovers, rep.WeightRegressions)
+	}
+	if rep.FencedWrites+rep.HedgedReads+rep.BreakerOpens+rep.RetryBudgetExhausted > 0 {
+		fmt.Printf("robustness: %d fenced writes, %d hedged reads, %d breaker opens, %d budget-denied retries\n",
+			rep.FencedWrites, rep.HedgedReads, rep.BreakerOpens, rep.RetryBudgetExhausted)
 	}
 	if rep.Resumed {
 		fmt.Printf("resumed from checkpoint at version %d\n", rep.ResumedFromVersion)

@@ -96,6 +96,42 @@ type DialOptions struct {
 	// build (see Client.PayloadCodec); CodecGob forces the legacy
 	// encoding unconditionally.
 	PayloadCodec Codec
+	// RetryBudget, when set, is a token bucket every retry (not first
+	// attempt) must draw from before sleeping its backoff. Share one
+	// budget across a worker fleet to bound GLOBAL retry pressure
+	// against a dead shard (see RetryBudget). Nil leaves retries
+	// bounded only by the per-op Attempts policy.
+	RetryBudget *RetryBudget
+
+	// The remaining knobs configure ShardedClient's gray-failure
+	// machinery (DESIGN.md §11.6) and are ignored by single-server
+	// clients.
+
+	// DegradeLatency arms gray-failure detection: once a shard's
+	// latency EWMA crosses it (or its windowed error rate crosses
+	// DegradeErrorRate) with a full observation window, the shard is
+	// treated as failed — evacuated onto its follower — even though it
+	// still answers. Zero disables detection entirely.
+	DegradeLatency time.Duration
+	// DegradeWindow is the sliding outcome window size backing the
+	// error rate and the warm-up grace (default 16 ops).
+	DegradeWindow int
+	// DegradeErrorRate is the windowed transport-error rate that also
+	// counts as degraded (default 0.5).
+	DegradeErrorRate float64
+	// HedgeReads additionally races reads on a suspect shard — latency
+	// EWMA past HALF of DegradeLatency, i.e. before the evacuation
+	// threshold — against its follower, returning the first answer:
+	// latency insurance for the weights/head hot path while a slowdown
+	// is mild or still being confirmed. Requires DegradeLatency.
+	HedgeReads bool
+	// BreakerThreshold arms a per-shard circuit breaker: after this
+	// many consecutive transport failures the shard sheds requests
+	// (ErrBreakerOpen) for BreakerCooldown before probing again. Zero
+	// disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open-state dwell (default 500ms).
+	BreakerCooldown time.Duration
 }
 
 const (
@@ -316,6 +352,15 @@ func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, err
 	var lastErr error
 	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
 		if attempt > 0 {
+			if rb := c.opts.RetryBudget; rb != nil && !rb.Allow() {
+				// The shared budget is dry: some other worker is already
+				// retrying against this outage. Fail fast rather than pile
+				// a backoff schedule onto the storm.
+				return 0, nil, &TransportError{
+					Op: op, Key: key, Attempts: attempt,
+					Err: fmt.Errorf("retry budget exhausted: %w", lastErr),
+				}
+			}
 			c.event(&c.retries, "retry")
 			// Sleep with the mutex released: holding it through the
 			// backoff schedule would stall every concurrent operation —

@@ -41,6 +41,15 @@ type Shard struct {
 	// Follower is the address of the shard's replica, promoted when the
 	// leader dies; empty means the shard runs unreplicated.
 	Follower string `json:"follower,omitempty"`
+	// Term is the shard's fencing token: a monotone leadership counter
+	// bumped on every promotion. Clients stamp data-plane writes with
+	// the term they believe current; a server that has learned a newer
+	// term answers `fenced`, which forces the writer to refresh its
+	// topology before retrying — a deposed leader can therefore never
+	// silently accept post-promotion writes (DESIGN.md §11.5). Zero
+	// disables fencing for the shard (pre-term topologies, and the
+	// wire-identical 1-shard lockstep path).
+	Term int64 `json:"term,omitempty"`
 }
 
 // Topology is the cluster's shard map document. Version is a monotone
@@ -66,6 +75,9 @@ func (t *Topology) Validate() error {
 	for _, s := range t.Shards {
 		if s.Addr == "" {
 			return fmt.Errorf("cluster: shard %d has no address", s.ID)
+		}
+		if s.Term < 0 {
+			return fmt.Errorf("cluster: shard %d has negative term %d", s.ID, s.Term)
 		}
 		if seen[s.ID] {
 			return fmt.Errorf("cluster: duplicate shard id %d", s.ID)

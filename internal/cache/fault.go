@@ -3,6 +3,7 @@ package cache
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,52 @@ import (
 
 	"stellaris/internal/rng"
 )
+
+// Direction names one side of a proxied connection for asymmetric
+// faults: a partition can blackhole requests while responses still
+// flow, or vice versa — the half-open failure modes a symmetric kill
+// cannot produce.
+type Direction int
+
+const (
+	// ClientToServer is the request direction (client bytes toward the
+	// upstream server).
+	ClientToServer Direction = iota
+	// ServerToClient is the response direction.
+	ServerToClient
+)
+
+func (d Direction) String() string {
+	if d == ClientToServer {
+		return "client->server"
+	}
+	return "server->client"
+}
+
+// Partition is one scripted asymmetric partition: once AfterOps request
+// frames have completed, every chunk flowing in Drop's direction is
+// silently blackholed for For (<= 0 means until healed). Like the kill
+// schedule, the chunk that completes the threshold frame is already
+// inside the window — a ClientToServer partition at AfterOps N
+// blackholes request N itself. The other direction keeps flowing — a
+// ServerToClient partition yields the classic deposed-leader shape
+// where writes still LAND but their acks never return.
+type Partition struct {
+	AfterOps int64
+	Drop     Direction
+	For      time.Duration
+}
+
+// Brownout is one scripted gray-failure window: once AfterOps request
+// frames have completed, every chunk in BOTH directions is held at
+// least Floor before forwarding for For (<= 0 means until healed). No
+// hard errors are injected — the shard is alive, just persistently
+// slow, which is exactly the failure shape dead-man detection misses.
+type Brownout struct {
+	AfterOps int64
+	Floor    time.Duration
+	For      time.Duration
+}
 
 // FaultConfig sets per-chunk fault probabilities for a FaultProxy. Each
 // chunk of bytes copied in either direction rolls independently against
@@ -53,6 +100,14 @@ type FaultConfig struct {
 	// before) the repeating KillAfterOps schedule. Thresholds should be
 	// increasing.
 	Schedule []Outage
+	// Partitions lists scripted asymmetric partitions at cumulative
+	// completed-op thresholds, consumed in order (see Partition). They
+	// can also be triggered directly via PartitionNow.
+	Partitions []Partition
+	// Brownouts lists scripted latency-floor windows at cumulative
+	// completed-op thresholds, consumed in order (see Brownout). They
+	// can also be triggered directly via BrownoutNow.
+	Brownouts []Brownout
 }
 
 // Outage is one scripted downtime window: once AfterOps request frames
@@ -76,6 +131,14 @@ type FaultStats struct {
 	// Outages counts kill/downtime windows triggered by KillAfterOps or
 	// the scripted Schedule.
 	Outages int64
+	// Partitions and Brownouts count windows activated (scripted or via
+	// the *Now methods); PartitionDrops counts chunks blackholed by an
+	// active partition and BrownoutHolds counts chunks held at the
+	// brownout latency floor.
+	Partitions     int64
+	Brownouts      int64
+	PartitionDrops int64
+	BrownoutHolds  int64
 }
 
 // FaultProxy is a chaos TCP proxy that sits between a cache Client and
@@ -108,6 +171,20 @@ type FaultProxy struct {
 	schedMu   sync.Mutex
 	pending   []Outage
 	nextKill  int64
+	scheduled bool // any op-count-triggered behavior configured
+
+	// Partition/brownout window state: UnixNano deadlines (MaxInt64 =
+	// until healed), indexed by Direction for partitions; the brownout
+	// floor is stored in nanoseconds alongside its deadline.
+	partUntil    [2]atomic.Int64
+	brownUntil   atomic.Int64
+	brownFloorNS atomic.Int64
+	pendingPart  []Partition // guarded by schedMu
+	pendingBrown []Brownout  // guarded by schedMu
+	partitions   atomic.Int64
+	brownouts    atomic.Int64
+	partDrops    atomic.Int64
+	brownHolds   atomic.Int64
 }
 
 // NewFaultProxy returns a proxy forwarding to target ("host:port") with
@@ -123,7 +200,58 @@ func NewFaultProxy(target string, cfg FaultConfig) *FaultProxy {
 	}
 	p.pending = append([]Outage(nil), cfg.Schedule...)
 	p.nextKill = cfg.KillAfterOps
+	p.pendingPart = append([]Partition(nil), cfg.Partitions...)
+	p.pendingBrown = append([]Brownout(nil), cfg.Brownouts...)
+	p.scheduled = cfg.KillAfterOps > 0 || len(cfg.Schedule) > 0 ||
+		len(cfg.Partitions) > 0 || len(cfg.Brownouts) > 0
 	return p
+}
+
+// windowDeadline converts a window duration to its UnixNano deadline;
+// non-positive means "until healed".
+func windowDeadline(d time.Duration) int64 {
+	if d <= 0 {
+		return math.MaxInt64
+	}
+	return time.Now().Add(d).UnixNano()
+}
+
+// PartitionNow activates an asymmetric partition immediately: chunks in
+// dir are blackholed for d (<= 0: until Heal). The reverse direction is
+// untouched.
+func (p *FaultProxy) PartitionNow(dir Direction, d time.Duration) {
+	p.partUntil[dir].Store(windowDeadline(d))
+	p.partitions.Add(1)
+}
+
+// BrownoutNow activates a latency-floor window immediately: every chunk
+// in both directions is held at least floor before forwarding, for d
+// (<= 0: until Heal). No errors are injected.
+func (p *FaultProxy) BrownoutNow(floor, d time.Duration) {
+	p.brownFloorNS.Store(int64(floor))
+	p.brownUntil.Store(windowDeadline(d))
+	p.brownouts.Add(1)
+}
+
+// Heal ends any active partition and brownout windows.
+func (p *FaultProxy) Heal() {
+	p.partUntil[ClientToServer].Store(0)
+	p.partUntil[ServerToClient].Store(0)
+	p.brownUntil.Store(0)
+}
+
+// partitioned reports whether dir is inside an active partition window.
+func (p *FaultProxy) partitioned(dir Direction) bool {
+	return time.Now().UnixNano() < p.partUntil[dir].Load()
+}
+
+// brownoutFloor returns the active latency floor, or zero outside a
+// brownout window.
+func (p *FaultProxy) brownoutFloor() time.Duration {
+	if time.Now().UnixNano() >= p.brownUntil.Load() {
+		return 0
+	}
+	return time.Duration(p.brownFloorNS.Load())
 }
 
 // Listen starts accepting on addr (port 0 picks a free port) and
@@ -142,13 +270,17 @@ func (p *FaultProxy) Listen(addr string) (string, error) {
 // Stats returns the injected-fault counters.
 func (p *FaultProxy) Stats() FaultStats {
 	return FaultStats{
-		Drops:       p.drops.Load(),
-		Delays:      p.delays.Load(),
-		Corruptions: p.corruptions.Load(),
-		Closes:      p.closes.Load(),
-		Conns:       p.accepted.Load(),
-		Ops:         p.ops.Load(),
-		Outages:     p.outages.Load(),
+		Drops:          p.drops.Load(),
+		Delays:         p.delays.Load(),
+		Corruptions:    p.corruptions.Load(),
+		Closes:         p.closes.Load(),
+		Conns:          p.accepted.Load(),
+		Ops:            p.ops.Load(),
+		Outages:        p.outages.Load(),
+		Partitions:     p.partitions.Load(),
+		Brownouts:      p.brownouts.Load(),
+		PartitionDrops: p.partDrops.Load(),
+		BrownoutHolds:  p.brownHolds.Load(),
 	}
 }
 
@@ -216,15 +348,26 @@ func (p *FaultProxy) down() bool {
 	return time.Now().UnixNano() < p.downUntil.Load()
 }
 
-// noteOps folds n newly completed request frames into the outage
-// schedule; a true return means an outage fired and the caller's
-// connection is already severed.
+// noteOps folds n newly completed request frames into the outage,
+// partition, and brownout schedules; a true return means an outage
+// fired and the caller's connection is already severed (window
+// activations do not sever).
 func (p *FaultProxy) noteOps(n int) bool {
-	if n == 0 || (p.cfg.KillAfterOps <= 0 && len(p.cfg.Schedule) == 0) {
+	if n == 0 || !p.scheduled {
 		return false
 	}
 	total := p.ops.Add(int64(n))
 	p.schedMu.Lock()
+	for len(p.pendingPart) > 0 && total >= p.pendingPart[0].AfterOps {
+		part := p.pendingPart[0]
+		p.pendingPart = p.pendingPart[1:]
+		p.PartitionNow(part.Drop, part.For)
+	}
+	for len(p.pendingBrown) > 0 && total >= p.pendingBrown[0].AfterOps {
+		bo := p.pendingBrown[0]
+		p.pendingBrown = p.pendingBrown[1:]
+		p.BrownoutNow(bo.Floor, bo.For)
+	}
 	var downtime time.Duration
 	trigger := false
 	if len(p.pending) > 0 && total >= p.pending[0].AfterOps {
@@ -333,14 +476,25 @@ func (p *FaultProxy) serve(client net.Conn, id uint64) {
 	pumps.Add(1)
 	go func() {
 		defer pumps.Done()
-		p.pump(upstream, client, downRNG, nil)
+		p.pump(upstream, client, ServerToClient, downRNG, nil)
 	}()
 	// The reverse direction runs inline; when it exits it closes both
 	// conns, which unblocks the goroutine above. Only this client→server
 	// direction carries request frames, so only it feeds the op counter.
-	p.pump(client, upstream, upRNG, &frameParser{})
+	p.pump(client, upstream, ClientToServer, upRNG, &frameParser{})
 	pumps.Wait()
 }
+
+// delivery is one forwarded chunk with its earliest write time.
+type delivery struct {
+	b  []byte
+	at time.Time
+}
+
+// deliveryQueueDepth bounds in-flight delayed chunks per direction:
+// deep enough that a single held chunk never stalls the reader, small
+// enough to preserve TCP backpressure through the proxy.
+const deliveryQueueDepth = 32
 
 // pump copies src → dst in chunks, rolling each chunk against the fault
 // rates. Returning closes both ends (via serve's defer), which is how a
@@ -348,7 +502,43 @@ func (p *FaultProxy) serve(client net.Conn, id uint64) {
 // completed request frames for the outage schedule; a chunk that crosses
 // a kill threshold is NOT forwarded, so the triggering request fails
 // deterministically instead of racing its response against the sever.
-func (p *FaultProxy) pump(src, dst net.Conn, r *rng.RNG, fp *frameParser) {
+//
+// Held chunks (random delay, brownout floor) ride a bounded FIFO
+// delivery queue drained by a writer goroutine, so the reader keeps
+// consuming src while an earlier chunk waits out its hold. Aggregate
+// added latency over a burst is therefore bounded by the LARGEST single
+// hold (≤ MaxDelay + brownout floor), not the sum of holds — the old
+// inline sleep serialized every hold behind the previous one, silently
+// inflating effective delay far past MaxDelay on multi-chunk frames.
+// FIFO ordering preserves the byte stream exactly.
+func (p *FaultProxy) pump(src, dst net.Conn, dir Direction, r *rng.RNG, fp *frameParser) {
+	q := make(chan delivery, deliveryQueueDepth)
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		broken := false
+		for d := range q {
+			if broken {
+				continue // drain so the reader never blocks on send
+			}
+			if wait := time.Until(d.at); wait > 0 {
+				time.Sleep(wait)
+			}
+			if _, err := dst.Write(d.b); err != nil {
+				broken = true
+				_ = src.Close() // poison the reader; it closes q on exit
+			}
+		}
+	}()
+	defer func() {
+		close(q)
+		writer.Wait()
+		// EOF or forced close: sever the paired direction so the peer
+		// observes the failure promptly instead of waiting on a
+		// half-open connection.
+		_ = dst.Close()
+	}()
 	// Small chunks give faults sub-frame granularity: a 9-byte request
 	// header and a 64 KiB weights payload both get multiple rolls.
 	buf := make([]byte, 1024)
@@ -358,13 +548,18 @@ func (p *FaultProxy) pump(src, dst net.Conn, r *rng.RNG, fp *frameParser) {
 			chunk := buf[:n]
 			if fp != nil && p.noteOps(fp.feed(chunk)) {
 				_ = src.Close()
-				_ = dst.Close()
 				return
+			}
+			if p.partitioned(dir) {
+				// Asymmetric partition: this direction is blackholed. No
+				// fault rolls — the chunk never existed as far as dst can
+				// tell, and the reverse direction keeps flowing.
+				p.partDrops.Add(1)
+				continue
 			}
 			if p.cfg.CloseRate > 0 && r.Float64() < p.cfg.CloseRate {
 				p.closes.Add(1)
 				_ = src.Close()
-				_ = dst.Close()
 				return
 			}
 			if p.cfg.DropRate > 0 && r.Float64() < p.cfg.DropRate {
@@ -375,20 +570,21 @@ func (p *FaultProxy) pump(src, dst net.Conn, r *rng.RNG, fp *frameParser) {
 				p.corruptions.Add(1)
 				chunk[r.Intn(n)] ^= 0xFF
 			}
+			hold := p.brownoutFloor()
+			if hold > 0 {
+				p.brownHolds.Add(1)
+			}
 			if p.cfg.DelayRate > 0 && r.Float64() < p.cfg.DelayRate {
 				p.delays.Add(1)
-				time.Sleep(time.Duration(1 + r.Intn(int(p.cfg.MaxDelay))))
+				hold += time.Duration(1 + r.Intn(int(p.cfg.MaxDelay)))
 			}
-			if _, werr := dst.Write(chunk); werr != nil {
-				_ = src.Close()
-				return
-			}
+			// Copy out of the read buffer: the queue outlives this
+			// iteration and buf is about to be overwritten.
+			cp := make([]byte, n)
+			copy(cp, chunk)
+			q <- delivery{b: cp, at: time.Now().Add(hold)}
 		}
 		if err != nil {
-			// EOF or forced close: sever the paired direction so the
-			// peer observes the failure promptly instead of waiting on
-			// a half-open connection.
-			_ = dst.Close()
 			return
 		}
 	}

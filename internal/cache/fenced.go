@@ -1,0 +1,134 @@
+package cache
+
+// Term-fenced writes (DESIGN.md §11.5): every data-plane write can be
+// stamped with the shard term the writer believes current. A server
+// that has learned a newer term — from a topology-document write or a
+// higher-termed envelope — answers status 'F' instead of applying the
+// write, which surfaces here as *ErrFenced. That is the split-brain
+// guard: after a promotion bumps the term, a deposed leader can still
+// be reachable, but it can no longer silently accept writes from
+// clients holding the pre-promotion topology.
+//
+// Term zero disarms fencing entirely: the op goes out as its plain
+// form, byte-for-byte identical to a build without fencing. A fresh
+// cluster starts at term zero and stays there until the first
+// promotion, so the 1-shard lockstep path never pays (or emits) a
+// single envelope byte.
+//
+// Legacy servers that do not speak the 'T' envelope answer '!' unknown
+// op; the client falls back to the plain op, since fencing cannot be
+// enforced against a build that predates it.
+
+import (
+	"encoding/binary"
+	"strconv"
+
+	"stellaris/internal/obs/lineage"
+)
+
+// ErrFenced reports a write refused because the server has learned a
+// newer shard term than the one the write carried: the writer's
+// topology view is deposed and must be refreshed before retrying.
+type ErrFenced struct {
+	// Term is the server's current term, from the 'F' reply payload.
+	Term int64
+}
+
+func (e *ErrFenced) Error() string {
+	return "cache: write fenced by newer shard term " + strconv.FormatInt(e.Term, 10) + "; refresh topology"
+}
+
+// fencedValue wraps an inner write op in the 'T' envelope:
+// [u64 term][u8 innerOp][inner value].
+func fencedValue(term int64, inner byte, val []byte) []byte {
+	out := make([]byte, 0, 9+len(val))
+	out = binary.BigEndian.AppendUint64(out, uint64(term))
+	out = append(out, inner)
+	return append(out, val...)
+}
+
+// fencedRespErr is respErr plus the envelope's extra outcome: an 'F'
+// status becomes *ErrFenced carrying the server's term.
+func fencedRespErr(status byte, payload []byte, err error, key string) error {
+	if err == nil && status == 'F' {
+		t, _ := strconv.ParseInt(string(payload), 10, 64)
+		return &ErrFenced{Term: t}
+	}
+	return respErr(status, payload, err, key)
+}
+
+// PutFenced is Put stamped with the caller's believed shard term.
+func (c *Client) PutFenced(term int64, key string, val []byte) error {
+	if term == 0 {
+		return c.Put(key, val)
+	}
+	status, payload, err := c.roundTrip('T', key, fencedValue(term, 'P', val))
+	if err == nil && status == '!' && legacyUnknownOp(payload) {
+		return c.Put(key, val)
+	}
+	if err := fencedRespErr(status, payload, err, key); err != nil {
+		return err
+	}
+	c.lineageHop(lineage.HopPut, key)
+	return nil
+}
+
+// DeleteFenced is Delete stamped with the caller's believed shard term.
+func (c *Client) DeleteFenced(term int64, key string) error {
+	if term == 0 {
+		return c.Delete(key)
+	}
+	status, payload, err := c.roundTrip('T', key, fencedValue(term, 'D', nil))
+	if err == nil && status == '!' && legacyUnknownOp(payload) {
+		return c.Delete(key)
+	}
+	return fencedRespErr(status, payload, err, key)
+}
+
+// IncrFenced is Incr stamped with the caller's believed shard term. It
+// shares Incr's at-least-once caveat under retries.
+func (c *Client) IncrFenced(term int64, key string) (int64, error) {
+	if term == 0 {
+		return c.Incr(key)
+	}
+	status, payload, err := c.roundTrip('T', key, fencedValue(term, 'I', nil))
+	if err == nil && status == '!' && legacyUnknownOp(payload) {
+		return c.Incr(key)
+	}
+	if err := fencedRespErr(status, payload, err, key); err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(string(payload), 10, 64)
+}
+
+// PutNFenced is PutN stamped with the caller's believed shard term: the
+// whole batch is either applied or fenced atomically (the envelope
+// wraps one 'p' blob, and the term check happens before the blob is
+// touched).
+func (c *Client) PutNFenced(term int64, kvs []KV) error {
+	if term == 0 || len(kvs) == 0 {
+		return c.PutN(kvs)
+	}
+	if !c.modern() {
+		// A legacy server enforces no terms; the negotiated fallback is
+		// the plain batch path (which itself degrades to per-key puts).
+		return c.PutN(kvs)
+	}
+	env := grabFrame(9 + putNBlobSize(kvs))
+	env = binary.BigEndian.AppendUint64(env, uint64(term))
+	env = append(env, 'p')
+	env = appendPutNBlob(env, kvs)
+	status, payload, err := c.roundTrip('T', "", env)
+	Recycle(env)
+	if err == nil && status == '!' && legacyUnknownOp(payload) {
+		c.peer.Store(peerLegacy)
+		return c.PutN(kvs)
+	}
+	if err := fencedRespErr(status, payload, err, "(putn)"); err != nil {
+		return err
+	}
+	for _, kv := range kvs {
+		c.lineageHop(lineage.HopPut, kv.Key)
+	}
+	return nil
+}

@@ -9,8 +9,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"stellaris/internal/cache/cluster"
 	"stellaris/internal/obs"
 	"stellaris/internal/obs/lineage"
 )
@@ -24,8 +26,14 @@ import (
 // answer '!' unknown op, which clients treat as a legacy downgrade),
 // 'R' replication subscribe (hijacks the connection into a one-way
 // stream of '+' frames carrying AOF records; see replica.go and
-// DESIGN.md §11.2).
-// Status: '+' ok, '-' not found, '!' error (payload = message).
+// DESIGN.md §11.2), 'T' term-fenced write envelope
+// (value = [u64 term][u8 innerOp][inner value]; the inner op is one of
+// 'P', 'D', 'I', 'p' and is rejected with status 'F' when the carried
+// term is older than the newest this server has learned — see
+// DESIGN.md §11.5).
+// Status: '+' ok, '-' not found, '!' error (payload = message),
+// 'F' fenced (payload = decimal current term; the writer's topology
+// view is deposed and must be refreshed).
 
 const maxFrame = 256 << 20 // 256 MiB guards against corrupt length words
 
@@ -105,14 +113,16 @@ func readResp(r io.Reader) (byte, []byte, error) {
 
 // Server serves a MemCache over TCP.
 type Server struct {
-	store *MemCache
-	ln    net.Listener
-	wg    sync.WaitGroup
-	mu    sync.Mutex
-	done  bool
-	conns map[net.Conn]struct{}
-	m     *serverMetrics
-	lin   *lineage.Store
+	store   *MemCache
+	ln      net.Listener
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	done    bool
+	conns   map[net.Conn]struct{}
+	m       *serverMetrics
+	lin     *lineage.Store
+	shardID int          // -1 = not part of a cluster; set via SetShardID
+	term    atomic.Int64 // newest fencing term learned for shardID
 }
 
 // serverMetrics is the server's view into an obs registry.
@@ -181,6 +191,8 @@ func opName(op byte) string {
 		return "hello"
 	case 'R':
 		return "replicate"
+	case 'T':
+		return "fenced"
 	default:
 		return "unknown"
 	}
@@ -204,7 +216,50 @@ func NewServer(store *MemCache) *Server {
 	if store == nil {
 		store = NewMemCache()
 	}
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return &Server{store: store, conns: make(map[net.Conn]struct{}), shardID: -1}
+}
+
+// SetShardID declares which cluster shard this server embodies, letting
+// it learn its fencing term from topology-document writes (any client
+// replicating sys/topology teaches every server the current term — in
+// particular a deposed leader sitting in the follower position of the
+// new topology). Call before Listen; a server with no shard ID still
+// learns terms from 'T' envelopes, just not from topology puts.
+func (s *Server) SetShardID(id int) { s.shardID = id }
+
+// Term reports the newest fencing term this server has learned, from
+// either a topology write or a fenced envelope. Zero means fencing has
+// never been engaged (no promotion has happened).
+func (s *Server) Term() int64 { return s.term.Load() }
+
+// advanceTerm ratchets the server's term monotonically upward.
+func (s *Server) advanceTerm(t int64) {
+	for {
+		cur := s.term.Load()
+		if t <= cur || s.term.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// learnTopology inspects a sys/topology value being written through
+// this server and adopts its own shard's term if newer. Invalid or
+// foreign documents are ignored — the write itself still succeeds, the
+// server just learns nothing from it.
+func (s *Server) learnTopology(val []byte) {
+	if s.shardID < 0 {
+		return
+	}
+	doc, err := cluster.Decode(val)
+	if err != nil {
+		return
+	}
+	for _, sh := range doc.Shards {
+		if sh.ID == s.shardID {
+			s.advanceTerm(sh.Term)
+			return
+		}
+	}
 }
 
 // Listen starts accepting connections on addr ("host:port"; port 0 picks
@@ -307,6 +362,9 @@ func (s *Server) handle(w io.Writer, f frame) error {
 	switch f.op {
 	case 'P':
 		_ = s.store.Put(f.key, f.value)
+		if f.key == cluster.TopologyKey {
+			s.learnTopology(f.value)
+		}
 		s.lineageHop(lineage.HopPut, f.key)
 		return writeResp(w, '+', nil)
 	case 'G':
@@ -344,6 +402,9 @@ func (s *Server) handle(w io.Writer, f frame) error {
 		}
 		_ = s.store.PutN(kvs) // values are copied by PutN; blob aliasing is fine
 		for _, kv := range kvs {
+			if kv.Key == cluster.TopologyKey {
+				s.learnTopology(kv.Val)
+			}
 			s.lineageHop(lineage.HopPut, kv.Key)
 		}
 		return writeResp(w, '+', nil)
@@ -364,6 +425,33 @@ func (s *Server) handle(w io.Writer, f frame) error {
 			}
 		}
 		return writeResp(w, '+', appendGetNResp(make([]byte, 0, getNRespSize(vals)), vals))
+	case 'T':
+		// Term-fenced write envelope. The value carries the writer's
+		// believed term plus a nested write op; a term older than the
+		// newest this server has learned means the writer's topology view
+		// predates a promotion, and the write is refused with 'F' (payload
+		// = current term) so the writer refreshes before retrying. Equal
+		// or newer terms pass through — and a newer one is adopted, which
+		// is how a promoted follower's first stamped write arms fencing on
+		// a server that never saw the topology doc.
+		if len(f.value) < 9 {
+			return writeResp(w, '!', []byte("short fenced envelope"))
+		}
+		reqTerm := int64(binary.BigEndian.Uint64(f.value[:8]))
+		inner := f.value[8]
+		switch inner {
+		case 'P', 'D', 'I', 'p':
+		default:
+			return writeResp(w, '!', []byte(fmt.Sprintf("op %q not allowed in fenced envelope", inner)))
+		}
+		if reqTerm < 0 {
+			return writeResp(w, '!', []byte("negative term in fenced envelope"))
+		}
+		if cur := s.term.Load(); reqTerm < cur {
+			return writeResp(w, 'F', []byte(strconv.FormatInt(cur, 10)))
+		}
+		s.advanceTerm(reqTerm)
+		return s.handle(w, frame{op: inner, key: f.key, value: f.value[9:]})
 	case 'V':
 		// Feature hello: acknowledge and advertise what this build
 		// speaks. The request value names the client's payload codec;

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stellaris/internal/cache/cluster"
@@ -32,13 +33,28 @@ import (
 type ShardedStats struct {
 	ClientStats
 	// Failovers counts shard leaders replaced by their follower after
-	// transport exhaustion.
+	// transport exhaustion (gray-failure evacuations included).
 	Failovers int64
+	// GrayFailovers counts the subset of Failovers triggered by the
+	// health score (alive-but-degraded leader) rather than transport
+	// exhaustion.
+	GrayFailovers int64
 	// TopologyRefreshes counts newer topology documents adopted (watch
 	// or post-failover refresh).
 	TopologyRefreshes int64
 	// TopologyVersion is the version of the topology currently in use.
 	TopologyVersion int
+	// FencedWrites counts writes refused by a server holding a newer
+	// shard term (each forces a topology refresh before the retry).
+	FencedWrites int64
+	// HedgedReads counts reads raced against a degraded shard's
+	// follower.
+	HedgedReads int64
+	// BreakerOpens counts closed→open circuit-breaker transitions.
+	BreakerOpens int64
+	// RetryBudgetExhausted counts retries denied by the shared
+	// DialOptions.RetryBudget (zero when no budget is installed).
+	RetryBudgetExhausted int64
 }
 
 // ShardedClient is a Conn backed by a cluster of cache servers. Safe
@@ -51,9 +67,13 @@ type ShardedClient struct {
 	topo  *cluster.Topology
 	slots []*shardSlot
 
-	closed    atomicBool
-	failovers obs.Counter
-	refreshes obs.Counter
+	closed        atomicBool
+	failovers     obs.Counter
+	grayFailovers obs.Counter
+	refreshes     obs.Counter
+	fencedWrites  obs.Counter
+	hedgedReads   obs.Counter
+	breakerOpens  atomic.Int64 // shared with every slot's breaker
 
 	watchOnce sync.Once
 	watchStop chan struct{}
@@ -90,6 +110,19 @@ type shardSlot struct {
 	addr     string
 	follower string
 	epoch    int64
+	// term is the shard's fencing token as this client believes it:
+	// seeded from the topology, bumped on every local promotion, and
+	// stamped onto data-plane writes (see fencedDo).
+	term int64
+	// hcli is a lazily dialed client to the CURRENT follower address,
+	// used for hedged reads and follower topology teaching. Invalidated
+	// whenever the follower address moves.
+	hcli     *Client
+	hcliAddr string
+
+	// health and brk self-synchronize; they sit outside slot.mu.
+	health *shardHealth
+	brk    *breaker
 }
 
 func (s *shardSlot) client() (*Client, int64) {
@@ -124,6 +157,9 @@ func DialSharded(topo *cluster.Topology, opts DialOptions) (*ShardedClient, erro
 		}
 		sc.slots = append(sc.slots, &shardSlot{
 			id: sh.ID, cli: cli, addr: sh.Addr, follower: sh.Follower,
+			term:   sh.Term,
+			health: newShardHealth(opts.DegradeWindow),
+			brk:    newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, &sc.breakerOpens),
 		})
 	}
 	return sc, nil
@@ -142,17 +178,72 @@ func (sc *ShardedClient) do(key string, op func(*Client) error) error {
 }
 
 func (sc *ShardedClient) doSlot(slot *shardSlot, op func(*Client) error) error {
+	if !slot.brk.allow() {
+		return &ErrBreakerOpen{Shard: slot.id}
+	}
 	cli, epoch := slot.client()
+	start := time.Now()
 	err := op(cli)
 	var te *TransportError
-	if err == nil || !errors.As(err, &te) {
+	transport := err != nil && errors.As(err, &te)
+	slot.health.note(time.Since(start), transport)
+	slot.brk.note(!transport)
+	if err == nil {
+		// Success — but a persistently slow shard is a gray failure:
+		// evacuate it through the same epoch-guarded promotion a dead one
+		// gets. The health reset inside failover re-arms the warm-up
+		// grace, so a freshly promoted follower cannot be re-judged until
+		// a full window of its own ops has accumulated.
+		if sc.degraded(slot) {
+			sc.failover(slot, epoch, true)
+		}
+		return nil
+	}
+	if !transport {
 		return err
 	}
-	if !sc.failover(slot, epoch) {
+	if !sc.failover(slot, epoch, false) {
 		return err
 	}
 	cli, _ = slot.client()
 	return op(cli)
+}
+
+// Health levels from the gray-failure score: suspect shards get their
+// reads hedged (latency insurance while the slowdown is mild or still
+// being confirmed); degraded shards are evacuated outright.
+const (
+	healthOK       = iota
+	healthSuspect  // latency EWMA past half the threshold: hedge reads
+	healthDegraded // past the full threshold (or error rate): evacuate
+)
+
+// healthLevel scores slot against the configured gray-failure
+// thresholds. Detection is armed only when DegradeLatency is set and
+// the observation window has filled.
+func (sc *ShardedClient) healthLevel(slot *shardSlot) int {
+	if sc.opts.DegradeLatency <= 0 {
+		return healthOK
+	}
+	ewma, errRate, filled := slot.health.snapshot()
+	if !filled {
+		return healthOK
+	}
+	rate := sc.opts.DegradeErrorRate
+	if rate <= 0 {
+		rate = defaultDegradeErrorRate
+	}
+	switch {
+	case ewma >= sc.opts.DegradeLatency || errRate >= rate:
+		return healthDegraded
+	case ewma >= sc.opts.DegradeLatency/2:
+		return healthSuspect
+	}
+	return healthOK
+}
+
+func (sc *ShardedClient) degraded(slot *shardSlot) bool {
+	return sc.healthLevel(slot) >= healthDegraded
 }
 
 // failover promotes slot's follower: dial it, swap it in as the leader
@@ -162,7 +253,11 @@ func (sc *ShardedClient) doSlot(slot *shardSlot, op func(*Client) error) error {
 // one promotion. Returns false when there is nothing to promote (no
 // follower, follower also dead, client closed, or a concurrent caller
 // already failed over — in which case the caller should simply retry).
-func (sc *ShardedClient) failover(slot *shardSlot, epoch int64) bool {
+// gray marks a promotion triggered by the gray-failure detector rather
+// than a transport error; it is counted only when THIS call performs
+// the swap, so racing degraded callers cannot inflate GrayFailovers
+// past Failovers.
+func (sc *ShardedClient) failover(slot *shardSlot, epoch int64, gray bool) bool {
 	if sc.closed.get() {
 		return false
 	}
@@ -196,9 +291,22 @@ func (sc *ShardedClient) failover(slot *shardSlot, epoch int64) bool {
 	slot.cli = cli
 	slot.addr, slot.follower = follower, slot.addr
 	slot.epoch++
+	// Promotion bumps the shard's fencing term: our writes now carry
+	// term+1, which teaches the promoted follower the new term on first
+	// contact and fences any client still writing to the old leader
+	// under the old term (DESIGN.md §11.5).
+	slot.term++
 	slot.mu.Unlock()
 	_ = old.Close()
+	// The new leader starts with a clean health score and a closed
+	// breaker — judging it by its predecessor's latencies would
+	// evacuate straight back.
+	slot.health.reset()
+	slot.brk.reset()
 	sc.failovers.Inc()
+	if gray {
+		sc.grayFailovers.Inc()
+	}
 
 	// Best-effort: record the new leadership in the shared topology so
 	// watching clients converge without each one rediscovering the dead
@@ -220,6 +328,7 @@ func (sc *ShardedClient) publishPromotion(slot *shardSlot) {
 		if t.Shards[i].ID == slot.id {
 			slot.mu.Lock()
 			t.Shards[i].Addr, t.Shards[i].Follower = slot.addr, slot.follower
+			t.Shards[i].Term = slot.term
 			slot.mu.Unlock()
 		}
 	}
@@ -227,29 +336,67 @@ func (sc *ShardedClient) publishPromotion(slot *shardSlot) {
 	sc.refreshes.Inc()
 	sc.mu.Unlock()
 	if b, err := t.Encode(); err == nil {
-		_ = sc.putAll(cluster.TopologyKey, b)
+		sc.broadcastTopology(b)
 	}
+}
+
+// ---- term-fenced write routing ----
+
+// fencedDo runs a term-stamped write against slot. A fenced reply
+// means this client's topology view predates a promotion: refresh,
+// pick up the new term (and possibly the new leader address), and
+// retry once. A second fence is surfaced to the caller — by then
+// something is publishing terms faster than we can refresh, and
+// looping would spin.
+func (sc *ShardedClient) fencedDo(slot *shardSlot, op func(c *Client, term int64) error) error {
+	slot.mu.Lock()
+	term := slot.term
+	slot.mu.Unlock()
+	err := sc.doSlot(slot, func(c *Client) error { return op(c, term) })
+	var fe *ErrFenced
+	if !errors.As(err, &fe) {
+		return err
+	}
+	sc.fencedWrites.Inc()
+	if _, rerr := sc.RefreshTopology(); rerr != nil {
+		return err
+	}
+	slot.mu.Lock()
+	term = slot.term
+	slot.mu.Unlock()
+	return sc.doSlot(slot, func(c *Client) error { return op(c, term) })
 }
 
 // ---- Cache ----
 
-// Put implements Cache. The topology key is written to every shard; all
-// other keys route through the ring.
+// Put implements Cache. The topology key is written to every shard
+// (followers included — it carries the fencing terms); all other keys
+// route through the ring as term-stamped writes.
 func (sc *ShardedClient) Put(key string, val []byte) error {
 	if key == cluster.TopologyKey {
-		return sc.putAll(key, val)
+		return sc.broadcastTopology(val)
 	}
-	return sc.do(key, func(c *Client) error { return c.Put(key, val) })
+	slot := sc.slotFor(key)
+	return sc.fencedDo(slot, func(c *Client, term int64) error {
+		return c.PutFenced(term, key, val)
+	})
 }
 
 // Get implements Cache. The topology key is answered by the first shard
-// that has it.
+// that has it; reads on a degraded shard are optionally hedged against
+// its follower.
 func (sc *ShardedClient) Get(key string) ([]byte, error) {
 	if key == cluster.TopologyKey {
 		return sc.getAny(key)
 	}
+	slot := sc.slotFor(key)
+	if sc.shouldHedge(slot) {
+		if v, err, ok := sc.getHedged(slot, key); ok {
+			return v, err
+		}
+	}
 	var v []byte
-	err := sc.do(key, func(c *Client) error {
+	err := sc.doSlot(slot, func(c *Client) error {
 		var e error
 		v, e = c.Get(key)
 		return e
@@ -262,15 +409,19 @@ func (sc *ShardedClient) Delete(key string) error {
 	if key == cluster.TopologyKey {
 		return sc.deleteAll(key)
 	}
-	return sc.do(key, func(c *Client) error { return c.Delete(key) })
+	slot := sc.slotFor(key)
+	return sc.fencedDo(slot, func(c *Client, term int64) error {
+		return c.DeleteFenced(term, key)
+	})
 }
 
 // Incr implements Cache.
 func (sc *ShardedClient) Incr(key string) (int64, error) {
 	var v int64
-	err := sc.do(key, func(c *Client) error {
+	slot := sc.slotFor(key)
+	err := sc.fencedDo(slot, func(c *Client, term int64) error {
 		var e error
-		v, e = c.Incr(key)
+		v, e = c.IncrFenced(term, key)
 		return e
 	})
 	return v, err
@@ -339,7 +490,10 @@ func (sc *ShardedClient) PutN(kvs []KV) error {
 			end++
 		}
 		run := kvs[start:end]
-		if err := sc.doSlot(slot, func(c *Client) error { return c.PutN(run) }); err != nil {
+		err := sc.fencedDo(slot, func(c *Client, term int64) error {
+			return c.PutNFenced(term, run)
+		})
+		if err != nil {
 			return err
 		}
 		start = end
@@ -369,6 +523,17 @@ func (sc *ShardedClient) GetN(keys []string) ([][]byte, error) {
 		for j, i := range idx {
 			sub[j] = keys[i]
 		}
+		if sc.shouldHedge(slot) {
+			if vals, err, ok := sc.getNHedged(slot, sub); ok {
+				if err != nil {
+					return nil, err
+				}
+				for j, i := range idx {
+					out[i] = vals[j]
+				}
+				continue
+			}
+		}
 		err := sc.doSlot(slot, func(c *Client) error {
 			vals, e := c.GetN(sub)
 			if e != nil {
@@ -386,7 +551,139 @@ func (sc *ShardedClient) GetN(keys []string) ([][]byte, error) {
 	return out, nil
 }
 
+// ---- hedged reads ----
+
+// shouldHedge reports whether reads on slot should race the follower:
+// hedging is enabled, the leader's health score is at least suspect,
+// and a follower exists to hedge against.
+func (sc *ShardedClient) shouldHedge(slot *shardSlot) bool {
+	if !sc.opts.HedgeReads || sc.healthLevel(slot) < healthSuspect {
+		return false
+	}
+	slot.mu.Lock()
+	f := slot.follower
+	slot.mu.Unlock()
+	return f != ""
+}
+
+// hedge races op against the slot's leader and follower, returning the
+// first successful answer (or, if both fail, the leader's error). The
+// losing goroutine is never abandoned mid-channel: the result channel
+// is buffered for both, so each sender completes its straight-line
+// body — bounded by the client's OpTimeout — and exits. ok=false means
+// the follower was undialable and the caller should take the normal
+// path.
+func (sc *ShardedClient) hedge(slot *shardSlot, op func(*Client) (any, error)) (any, error, bool) {
+	fcli := sc.followerClient(slot)
+	if fcli == nil {
+		return nil, nil, false
+	}
+	cli, _ := slot.client()
+	sc.hedgedReads.Inc()
+	type res struct {
+		v      any
+		err    error
+		leader bool
+	}
+	ch := make(chan res, 2)
+	go func() {
+		v, err := op(cli)
+		ch <- res{v, err, true}
+	}()
+	go func() {
+		v, err := op(fcli)
+		ch <- res{v, err, false}
+	}()
+	first := <-ch
+	if first.err == nil {
+		return first.v, nil, true
+	}
+	second := <-ch
+	if second.err == nil {
+		return second.v, nil, true
+	}
+	if first.leader {
+		return nil, first.err, true
+	}
+	return nil, second.err, true
+}
+
+func (sc *ShardedClient) getHedged(slot *shardSlot, key string) ([]byte, error, bool) {
+	v, err, ok := sc.hedge(slot, func(c *Client) (any, error) { return c.Get(key) })
+	if !ok || err != nil {
+		return nil, err, ok
+	}
+	return v.([]byte), nil, true
+}
+
+func (sc *ShardedClient) getNHedged(slot *shardSlot, keys []string) ([][]byte, error, bool) {
+	v, err, ok := sc.hedge(slot, func(c *Client) (any, error) { return c.GetN(keys) })
+	if !ok || err != nil {
+		return nil, err, ok
+	}
+	return v.([][]byte), nil, true
+}
+
+// followerClient returns a cached client to slot's CURRENT follower
+// address, dialing one (outside any lock) when missing or stale. Nil
+// when the shard has no follower or the follower is undialable.
+func (sc *ShardedClient) followerClient(slot *shardSlot) *Client {
+	slot.mu.Lock()
+	f := slot.follower
+	if slot.hcli != nil && slot.hcliAddr == f {
+		c := slot.hcli
+		slot.mu.Unlock()
+		return c
+	}
+	stale := slot.hcli
+	slot.hcli = nil
+	slot.mu.Unlock()
+	if stale != nil {
+		_ = stale.Close()
+	}
+	if f == "" {
+		return nil
+	}
+	// A hedge client never retries: its whole purpose is the fast
+	// second opinion, and the primary path already owns the backoff
+	// schedule.
+	hopts := sc.opts
+	hopts.Attempts = 1
+	hopts.Obs = nil
+	cli, err := DialWith(f, hopts)
+	if err != nil {
+		return nil
+	}
+	slot.mu.Lock()
+	if sc.closed.get() || slot.follower != f || slot.hcli != nil {
+		slot.mu.Unlock()
+		_ = cli.Close()
+		return nil
+	}
+	slot.hcli, slot.hcliAddr = cli, f
+	slot.mu.Unlock()
+	return cli
+}
+
 // ---- topology-key fan-out ----
+
+// broadcastTopology writes a topology document to every shard leader
+// AND every reachable follower. The follower leg is what closes the
+// fencing loop: after a promotion the deposed leader sits in the
+// follower position of the new topology, and this write — plain,
+// never fenced, because control-plane writes must always land — is how
+// it learns the new term and starts refusing stale-termed data writes.
+// Follower failures are ignored; an unreachable deposed leader is
+// fenced by the first 'T' envelope it sees instead.
+func (sc *ShardedClient) broadcastTopology(val []byte) error {
+	err := sc.putAll(cluster.TopologyKey, val)
+	for _, slot := range sc.slots {
+		if fc := sc.followerClient(slot); fc != nil {
+			_ = fc.Put(cluster.TopologyKey, val)
+		}
+	}
+	return err
+}
 
 func (sc *ShardedClient) putAll(key string, val []byte) error {
 	var firstErr error
@@ -456,11 +753,20 @@ func (sc *ShardedClient) ShardedStats() ShardedStats {
 	sc.mu.Lock()
 	ver := sc.topo.Version
 	sc.mu.Unlock()
+	var exhausted int64
+	if sc.opts.RetryBudget != nil {
+		exhausted = sc.opts.RetryBudget.Exhausted()
+	}
 	return ShardedStats{
-		ClientStats:       sc.Stats(),
-		Failovers:         sc.failovers.Value(),
-		TopologyRefreshes: sc.refreshes.Value(),
-		TopologyVersion:   ver,
+		ClientStats:          sc.Stats(),
+		Failovers:            sc.failovers.Value(),
+		GrayFailovers:        sc.grayFailovers.Value(),
+		TopologyRefreshes:    sc.refreshes.Value(),
+		TopologyVersion:      ver,
+		FencedWrites:         sc.fencedWrites.Value(),
+		HedgedReads:          sc.hedgedReads.Value(),
+		BreakerOpens:         sc.breakerOpens.Load(),
+		RetryBudgetExhausted: exhausted,
 	}
 }
 
@@ -474,7 +780,13 @@ func (sc *ShardedClient) Close() error {
 	sc.watchWG.Wait()
 	var firstErr error
 	for _, slot := range sc.slots {
-		cli, _ := slot.client()
+		slot.mu.Lock()
+		cli, hcli := slot.cli, slot.hcli
+		slot.hcli = nil
+		slot.mu.Unlock()
+		if hcli != nil {
+			_ = hcli.Close()
+		}
 		if err := cli.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -492,7 +804,7 @@ func (sc *ShardedClient) PublishTopology(t *cluster.Topology) error {
 	if err != nil {
 		return err
 	}
-	if err := sc.putAll(cluster.TopologyKey, b); err != nil {
+	if err := sc.broadcastTopology(b); err != nil {
 		return err
 	}
 	return sc.adopt(t)
@@ -554,6 +866,11 @@ func (sc *ShardedClient) adopt(t *cluster.Topology) error {
 		slot.mu.Lock()
 		sameAddr := slot.addr == sh.Addr
 		slot.follower = sh.Follower
+		if sh.Term > slot.term {
+			// Terms only ratchet up: a stale document must never talk a
+			// client back into a term a server would fence.
+			slot.term = sh.Term
+		}
 		slot.mu.Unlock()
 		if sameAddr {
 			continue

@@ -91,6 +91,19 @@ var replicaBlockingMethods = map[string]bool{
 	"Promote": true,
 }
 
+// extraBlockingCacheMethods supplements the Conn-derived set with
+// round-trip methods that are not part of the interface: the
+// term-stamped write variants (each rides the same wire round trip as
+// its plain counterpart, plus a topology refresh on a fence) and the
+// hedged-read internals (each fans a read out to leader AND follower
+// and may dial the follower first).
+var extraBlockingCacheMethods = map[string]bool{
+	"PutFenced": true, "PutNFenced": true,
+	"DeleteFenced": true, "IncrFenced": true,
+	"hedge": true, "getHedged": true, "getNHedged": true,
+	"followerClient": true,
+}
+
 // blockingCall reports whether call resolves to a function or method
 // from the shared blocking set, and a short description for the
 // finding message. Channel operations and selects are not calls and
@@ -147,7 +160,7 @@ func blockingCall(p *Package, call *ast.CallExpr) (string, bool) {
 		}
 		return "", false
 	}
-	if !blockingCacheMethods(fn.Pkg())[name] {
+	if !blockingCacheMethods(fn.Pkg())[name] && !extraBlockingCacheMethods[name] {
 		return "", false
 	}
 	recv := "cache.Client"

@@ -88,7 +88,8 @@ func errdropTarget(p *Package, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	switch fn.Name() {
-	case "Put", "Get", "Delete", "Incr", "Keys", "Len", "PutN", "GetN", "ApplyRecord":
+	case "Put", "Get", "Delete", "Incr", "Keys", "Len", "PutN", "GetN", "ApplyRecord",
+		"PutFenced", "PutNFenced", "DeleteFenced", "IncrFenced":
 	default:
 		return "", false
 	}

@@ -27,6 +27,16 @@ func batchedToo(b cache.Batcher) {
 	b.GetN(nil) // want "error from Batcher.GetN discarded"
 }
 
+func fencedToo(c *cache.Client) {
+	// A dropped fence rejection is a split-brain write silently thrown
+	// away: the caller never learns its topology view is stale.
+	c.PutFenced(1, "k", nil)     // want "error from Client.PutFenced discarded"
+	c.PutNFenced(1, nil)         // want "error from Client.PutNFenced discarded"
+	c.DeleteFenced(1, "k")       // want "error from Client.DeleteFenced discarded"
+	go c.IncrFenced(1, "k")      // want "error from Client.IncrFenced discarded by go statement"
+	_ = c.PutFenced(1, "k", nil) // fine: explicit shed decision
+}
+
 func replicationToo(r *cache.Replica) {
 	// A dropped apply error is a follower silently diverging from its
 	// leader — the worst possible failure mode for a promotion target.

@@ -17,6 +17,7 @@ type box struct {
 	ch  chan int
 	cli cache.Cache
 	cn  cache.Conn
+	ncl *cache.Client
 	mem *cache.MemCache
 	n   int
 }
@@ -74,6 +75,16 @@ func (b *box) goroutineIsFine() {
 	b.mu.Lock()
 	go func() { b.ch <- 1 }() // fine: the goroutine runs without the lock
 	b.mu.Unlock()
+}
+
+func (b *box) fencedUnderLock() {
+	b.mu.Lock()
+	_ = b.ncl.PutFenced(1, "k", nil) // want "blocking Client.PutFenced call while holding b.mu"
+	_ = b.ncl.PutNFenced(1, nil)     // want "blocking Client.PutNFenced call while holding b.mu"
+	_ = b.ncl.DeleteFenced(1, "k")   // want "blocking Client.DeleteFenced call while holding b.mu"
+	_, _ = b.ncl.IncrFenced(1, "k")  // want "blocking Client.IncrFenced call while holding b.mu"
+	b.mu.Unlock()
+	_ = b.ncl.PutFenced(1, "k", nil) // fine: after the unlock
 }
 
 func (b *box) memCacheIsFine() {

@@ -23,6 +23,7 @@ package live
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -85,6 +86,37 @@ type Options struct {
 	// fetches a worker tolerates (reusing its stale copy) before the
 	// worker is restarted; default 50.
 	MaxStaleFallbacks int
+
+	// Cache robustness knobs (DESIGN.md §11). All default to off, and
+	// all are ignored under Lockstep: the deterministic schedule must
+	// stay a pure function of the options, and hedging/evacuation/budget
+	// denial each depend on wall-clock racing.
+	//
+	// CacheDegradeLatency arms the sharded client's gray-failure
+	// detector: a shard whose latency EWMA crosses this threshold (or
+	// whose windowed transport-error rate crosses one half) is evacuated
+	// onto its follower exactly like a dead one. Zero disables; only
+	// meaningful in cluster mode.
+	CacheDegradeLatency time.Duration
+	// CacheDegradeWindow is the detector's sliding observation window
+	// (ops per shard); zero keeps the cache client's default (16).
+	CacheDegradeWindow int
+	// CacheHedgeReads races hot-path reads (weights head, batch gets)
+	// against the follower once a shard's latency EWMA passes HALF of
+	// CacheDegradeLatency. Requires CacheDegradeLatency and a cluster.
+	CacheHedgeReads bool
+	// CacheBreakerThreshold arms a per-shard circuit breaker: after this
+	// many consecutive transport failures the shard fails fast locally
+	// for a cooldown instead of burning timeouts. Zero disables.
+	CacheBreakerThreshold int
+	// CacheRetryRate caps the GLOBAL cache retry rate (tokens per
+	// second) across every worker connection, so N workers hammering one
+	// dead shard cannot multiply into a reconnect storm. Zero leaves
+	// retries unbudgeted. First attempts are never metered.
+	CacheRetryRate float64
+	// CacheRetryBurst is the retry budget's bucket depth; defaults to
+	// max(1, ceil(CacheRetryRate)) when a rate is set.
+	CacheRetryBurst int
 
 	// CheckpointDir enables crash-safe training: every CheckpointEvery
 	// policy updates the run persists its full state (weights, optimizer
@@ -195,6 +227,11 @@ func (o Options) withDefaults() (Options, error) {
 	if o.MaxStaleFallbacks <= 0 {
 		o.MaxStaleFallbacks = 50
 	}
+	if o.CacheRetryRate > 0 && o.CacheRetryBurst <= 0 {
+		if o.CacheRetryBurst = int(math.Ceil(o.CacheRetryRate)); o.CacheRetryBurst < 1 {
+			o.CacheRetryBurst = 1
+		}
+	}
 	if o.CheckpointDir != "" && o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = o.UpdatesPerRound
 	}
@@ -247,6 +284,22 @@ type Report struct {
 	// version can move backwards, and the subscribers re-anchor rather
 	// than silently serving an older vector as if it were newer.
 	WeightRegressions int64
+	// GrayFailovers is the subset of ShardFailovers triggered by the
+	// gray-failure detector (alive-but-slow shard) rather than a
+	// transport error.
+	GrayFailovers int64
+	// FencedWrites counts writes refused by a shard holding a newer
+	// leadership term than the client's topology view — each one forced
+	// a topology refresh before the retry (split-brain protection).
+	FencedWrites int64
+	// HedgedReads counts reads raced against a suspect shard's follower.
+	HedgedReads int64
+	// BreakerOpens counts per-shard circuit-breaker closed→open
+	// transitions across the run's sharded clients.
+	BreakerOpens int64
+	// RetryBudgetExhausted counts retries denied by the shared
+	// CacheRetryRate token bucket.
+	RetryBudgetExhausted int64
 
 	// Crash-recovery accounting. ActorRestarts/LearnerRestarts count
 	// supervisor restarts by role; CheckpointsWritten counts successful
@@ -347,18 +400,24 @@ func (p *clientPool) stats() cache.ClientStats {
 	return sum
 }
 
-// shardFailovers sums follower promotions across the run's sharded
-// clients; zero outside cluster mode.
-func (p *clientPool) shardFailovers() int64 {
+// shardedStats sums the resilience counters across the run's sharded
+// clients; all-zero outside cluster mode. RetryBudgetExhausted is NOT
+// summed here — the budget is shared, so it is read once from the run.
+func (p *clientPool) shardedStats() cache.ShardedStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var n int64
+	var sum cache.ShardedStats
 	for _, c := range p.clients {
 		if sc, ok := c.(*cache.ShardedClient); ok {
-			n += sc.ShardedStats().Failovers
+			s := sc.ShardedStats()
+			sum.Failovers += s.Failovers
+			sum.GrayFailovers += s.GrayFailovers
+			sum.FencedWrites += s.FencedWrites
+			sum.HedgedReads += s.HedgedReads
+			sum.BreakerOpens += s.BreakerOpens
 		}
 	}
-	return n
+	return sum
 }
 
 // publishWeights stores the run's current weight vector under version,

@@ -44,6 +44,10 @@ type run struct {
 	dial     func(name string) (cache.Conn, error)
 	paramCli cache.Conn
 
+	// budget is the retry token bucket shared by every worker connection
+	// (nil unless Options.CacheRetryRate is set outside Lockstep).
+	budget *cache.RetryBudget
+
 	// subs registers every delta weight subscriber the workers open so
 	// their head-regression counters (failover artifacts) can be folded
 	// into the Report after the pipeline drains.
@@ -143,6 +147,9 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 	// connection shares the run's retry/deadline policy and is registered
 	// so its fault-tolerance counters can be folded into the Report; name
 	// labels the connection's lineage hops with the owning worker.
+	if opt.CacheRetryRate > 0 && !opt.Lockstep {
+		r.budget = cache.NewRetryBudget(opt.CacheRetryRate, opt.CacheRetryBurst)
+	}
 	var dialSeq atomic.Uint64
 	r.dial = func(name string) (cache.Conn, error) {
 		dopts := cache.DialOptions{
@@ -153,6 +160,16 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 			Lineage:      r.lin,
 			LineageName:  name,
 			PayloadCodec: r.codec,
+		}
+		// The robustness knobs stay off in Lockstep: hedging, evacuation,
+		// breaker trips, and budget denials all depend on wall-clock
+		// racing, and the deterministic schedule must not.
+		if !opt.Lockstep {
+			dopts.RetryBudget = r.budget
+			dopts.DegradeLatency = opt.CacheDegradeLatency
+			dopts.DegradeWindow = opt.CacheDegradeWindow
+			dopts.HedgeReads = opt.CacheHedgeReads
+			dopts.BreakerThreshold = opt.CacheBreakerThreshold
 		}
 		if opt.Cluster != nil {
 			sc, err := cache.DialSharded(opt.Cluster, dopts)
@@ -494,13 +511,21 @@ func (r *run) buildReport() *Report {
 		CacheTimeouts:      cst.Timeouts,
 		StaleWeightReuses:  r.st.staleReuses.Load(),
 		DroppedPayloads:    r.st.dropped.Load(),
-		ShardFailovers:     r.pool.shardFailovers(),
 		WeightRegressions:  r.subRegressions(),
 		ActorRestarts:      r.actorRestarts.Load(),
 		LearnerRestarts:    r.learnerRestarts.Load(),
 		CheckpointsWritten: r.ckptWrites.Load(),
 		Resumed:            r.resumed,
 		ResumedFromVersion: int(r.resumedFrom),
+	}
+	ss := r.pool.shardedStats()
+	rep.ShardFailovers = ss.Failovers
+	rep.GrayFailovers = ss.GrayFailovers
+	rep.FencedWrites = ss.FencedWrites
+	rep.HedgedReads = ss.HedgedReads
+	rep.BreakerOpens = ss.BreakerOpens
+	if r.budget != nil {
+		rep.RetryBudgetExhausted = r.budget.Exhausted()
 	}
 	if r.lin != nil {
 		ls := r.lin.Stats()
