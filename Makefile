@@ -7,7 +7,7 @@ BENCHTIME ?= 100ms
 BENCHPKGS ?= . ./internal/nn ./internal/cache
 FUZZTIME ?= 5s
 
-.PHONY: build test race cover fmt vet lint leaktest bench bench-compare fuzz-short chaos trace-smoke ci
+.PHONY: build test race cover fmt vet lint leaktest bench bench-compare fuzz-short chaos trace-smoke obsd-smoke ci
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,17 @@ chaos:
 # & flight recorder").
 trace-smoke:
 	$(GO) test -race -count=1 -run 'TraceSmoke|TraceDES' ./internal/live ./internal/core
+
+# Fleet telemetry smoke (DESIGN.md §12): the stellaris-obsd daemon
+# end-to-end against a live cache server (discovery → scrape → dash),
+# the collector's DES virtual-clock suite, the frozen-fixture tolerant
+# decode, and the heartbeat lifecycle tests — race-enabled and
+# leaktest-checked. The full-cluster fleet drill
+# (TestChaosFleetTelemetry) rides in `make chaos` via the TestChaos*
+# naming convention.
+obsd-smoke:
+	$(GO) test -race -count=1 -run 'TestObsd|TestParseFlags|TestDefaultRules|TestSim|TestHeartbeat|TestReadInstances|TestTolerantDecode' \
+		./cmd/stellaris-obsd ./internal/obs/fleet ./internal/cache
 
 # Short live fuzz of the cache wire codec and framing. The checked-in
 # corpus under internal/cache/testdata/fuzz replays on every plain

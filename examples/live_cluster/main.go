@@ -48,13 +48,17 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"net"
+	"net/http"
+	"os"
 	"time"
 
 	"stellaris/internal/cache"
 	"stellaris/internal/cache/cluster"
 	"stellaris/internal/live"
 	"stellaris/internal/obs"
+	"stellaris/internal/obs/fleet"
+	"stellaris/internal/obs/logx"
 )
 
 func main() {
@@ -66,6 +70,8 @@ func main() {
 	var shardFollowers bool
 	var killShardAfter time.Duration
 	var partitionShardAfter, brownoutShardAfter, brownoutFloor time.Duration
+	var fleetWatch bool
+	var logLevel string
 	flag.StringVar(&opt.CacheAddr, "cache", "", "stellaris-cached address (empty = in-process)")
 	flag.StringVar(&opt.Env, "env", "cartpole", "environment")
 	flag.IntVar(&opt.Actors, "actors", 4, "actor workers")
@@ -102,23 +108,33 @@ func main() {
 	flag.StringVar(&obsAddr, "obs-addr", "", "metrics/pprof HTTP address (e.g. :9090; empty disables)")
 	flag.StringVar(&obsDir, "obs-dir", "", "periodically dump metrics.{json,csv,prom} here")
 	flag.DurationVar(&obsEvery, "obs-every", 5*time.Second, "dump interval for -obs-dir")
+	flag.BoolVar(&fleetWatch, "fleet", false, "run an in-process fleet collector (DESIGN.md §12) watching the run's obs endpoint; serves a live dashboard and prints a fleet summary (requires -obs-addr)")
+	flag.StringVar(&logLevel, "log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	lg := logx.New(os.Stderr, logx.ParseLevel(logLevel))
+	fatal := func(msg string, args ...any) {
+		lg.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	if obsAddr != "" || obsDir != "" {
 		opt.Obs = obs.NewRegistry()
 	}
+	var obsBound string
 	if obsAddr != "" {
 		hs, err := obs.Serve(obsAddr, opt.Obs)
 		if err != nil {
-			log.Fatal(err)
+			fatal("obs serve failed", "err", err.Error())
 		}
 		defer hs.Close()
+		obsBound = hs.Addr()
 		fmt.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)\n", hs.Addr())
 		fmt.Printf("causal trace on http://%s/trace.chrome.json (open in ui.perfetto.dev)\n", hs.Addr())
 	}
 	if obsDir != "" {
 		stop := obs.StartDump(opt.Obs, obsDir, obsEvery, func(err error) {
-			log.Println("obs dump:", err)
+			lg.Warn("obs dump failed", "err", err.Error())
 		})
 		defer stop()
 	}
@@ -130,7 +146,7 @@ func main() {
 			srv := cache.NewServer(nil)
 			addr, err := srv.Listen("127.0.0.1:0")
 			if err != nil {
-				log.Fatal(err)
+				fatal("fatal error", "err", err.Error())
 			}
 			defer srv.Close()
 			opt.CacheAddr = addr
@@ -145,7 +161,7 @@ func main() {
 		})
 		paddr, err := proxy.Listen("127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err.Error())
 		}
 		defer func() {
 			st := proxy.Stats()
@@ -161,7 +177,7 @@ func main() {
 
 	if shards > 0 {
 		if opt.CacheAddr != "" || chaos > 0 {
-			log.Fatal("-shards self-hosts the cache cluster; it is incompatible with -cache and -chaos")
+			fatal("-shards self-hosts the cache cluster; it is incompatible with -cache and -chaos")
 		}
 		// The partition/brownout drills need a fault proxy in front of
 		// every leader, so the drill can fault the data plane while
@@ -178,7 +194,7 @@ func main() {
 			srv.SetShardID(i)
 			addr, err := srv.Listen("127.0.0.1:0")
 			if err != nil {
-				log.Fatal(err)
+				fatal("fatal error", "err", err.Error())
 			}
 			defer srv.Close()
 			leaders[i] = srv
@@ -187,7 +203,7 @@ func main() {
 				proxy := cache.NewFaultProxy(addr, cache.FaultConfig{Seed: opt.Seed + uint64(100+i)})
 				paddr, err := proxy.Listen("127.0.0.1:0")
 				if err != nil {
-					log.Fatal(err)
+					fatal("fatal error", "err", err.Error())
 				}
 				defer proxy.Close()
 				proxies[i] = proxy
@@ -205,7 +221,7 @@ func main() {
 				fsrv.SetShardID(i)
 				faddr, err := fsrv.Listen("127.0.0.1:0")
 				if err != nil {
-					log.Fatal(err)
+					fatal("fatal error", "err", err.Error())
 				}
 				defer fsrv.Close()
 				fr := cache.NewReplica(fstore, addr, cache.ReplicaOptions{Seed: opt.Seed + uint64(i)})
@@ -220,11 +236,11 @@ func main() {
 		fmt.Printf("self-hosted cache cluster: %d shards, followers %v\n", shards, shardFollowers)
 		victimOf := func(drillFlag string) int {
 			if !shardFollowers {
-				log.Fatalf("%s needs -shard-followers (nothing to fail over to)", drillFlag)
+				fatal("drill needs -shard-followers (nothing to fail over to)", "flag", drillFlag)
 			}
 			ring, err := cluster.NewRing(topo)
 			if err != nil {
-				log.Fatal(err)
+				fatal("fatal error", "err", err.Error())
 			}
 			return ring.Shard(cache.KeyWeightsHead)
 		}
@@ -262,12 +278,68 @@ func main() {
 			defer timer.Stop()
 		}
 	} else if shardFollowers || killShardAfter > 0 || partitionShardAfter > 0 || brownoutShardAfter > 0 {
-		log.Fatal("-shard-followers and the shard drills need -shards")
+		fatal("-shard-followers and the shard drills need -shards")
+	}
+
+	// -fleet: an in-process stellaris-obsd watching the run through its
+	// own obs endpoint — live dashboard while training, fleet summary
+	// after (DESIGN.md §12).
+	var fcol *fleet.Collector
+	var fstop, fdone chan struct{}
+	if fleetWatch {
+		if obsBound == "" {
+			fatal("-fleet requires -obs-addr (the collector scrapes that endpoint)")
+		}
+		var err error
+		fcol, err = fleet.New(fleet.Config{
+			Clock:   opt.Obs.Now,
+			Targets: []string{obsBound},
+			Rules: []fleet.Rule{
+				{Name: "instance-down", Metric: "fleet_instance_up",
+					Instance: fleet.FleetInstance, Below: true, Threshold: 0.5,
+					ForSec: 3, Severity: "page"},
+				{Name: "updates-stalled", Metric: "live_updates_total",
+					Kind: fleet.KindRate, WindowSec: 10, Below: true,
+					Threshold: 0.01, ForSec: 5, Severity: "warn"},
+			},
+			Log: lg.With("component", "fleet"),
+		})
+		if err != nil {
+			fatal("fleet collector failed", "err", err.Error())
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal("fleet listen failed", "err", err.Error())
+		}
+		fsrv := &http.Server{Handler: fcol.Handler()}
+		go func() { _ = fsrv.Serve(ln) }()
+		defer fsrv.Close()
+		fstop, fdone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(fdone)
+			tick := time.NewTicker(500 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					fcol.Tick()
+				case <-fstop:
+					return
+				}
+			}
+		}()
+		fmt.Printf("fleet dashboard on http://%s/dash (fleet state at /fleet.json)\n", ln.Addr())
 	}
 
 	rep, err := live.Train(opt)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err.Error())
+	}
+	if fcol != nil {
+		close(fstop)
+		<-fdone
+		fcol.Tick() // one final round so the summary sees the run's last samples
+		fcol.Close()
 	}
 	fmt.Printf("live training: %d updates in %v across %d actors + %d learners\n",
 		rep.Updates, rep.Elapsed.Round(1e6), opt.Actors, opt.Learners)
@@ -294,5 +366,14 @@ func main() {
 	if rep.TraceEvents > 0 {
 		fmt.Printf("lineage: %d trace events, max depth %d, %d flight dumps\n",
 			rep.TraceEvents, rep.MaxLineageDepth, rep.FlightDumps)
+	}
+	if fcol != nil {
+		view := fcol.View()
+		fmt.Printf("fleet: %d collection rounds, %d instances watched, %d series, %d alert transitions\n",
+			view.Ticks, len(view.Instances), view.Series, len(view.Events))
+		for _, ev := range view.Events {
+			fmt.Printf("  alert %-8s %s severity=%s value=%.4g t=%.1fs trace=%s\n",
+				ev.State, ev.Rule, ev.Severity, ev.Value, ev.TimeSec, ev.Trace)
+		}
 	}
 }

@@ -356,6 +356,9 @@ func (c *Client) roundTrip(op byte, key string, value []byte) (byte, []byte, err
 				// The shared budget is dry: some other worker is already
 				// retrying against this outage. Fail fast rather than pile
 				// a backoff schedule onto the storm.
+				if c.m != nil {
+					c.m.events.With("retry-budget-exhausted").Inc()
+				}
 				return 0, nil, &TransportError{
 					Op: op, Key: key, Attempts: attempt,
 					Err: fmt.Errorf("retry budget exhausted: %w", lastErr),

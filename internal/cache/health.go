@@ -122,13 +122,14 @@ type breaker struct {
 	openedAt  time.Time
 	probing   bool
 	opens     *atomic.Int64 // shared open-transition counter (may be nil)
+	onOpen    func()        // per-breaker open hook (may be nil)
 }
 
-func newBreaker(threshold int, cooldown time.Duration, opens *atomic.Int64) *breaker {
+func newBreaker(threshold int, cooldown time.Duration, opens *atomic.Int64, onOpen func()) *breaker {
 	if cooldown <= 0 {
 		cooldown = defaultBreakerCooldown
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown, opens: opens}
+	return &breaker{threshold: threshold, cooldown: cooldown, opens: opens, onOpen: onOpen}
 }
 
 // allow reports whether a request may proceed. In the half-open state
@@ -158,25 +159,31 @@ func (b *breaker) note(ok bool) {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	wasProbe := b.probing
 	b.probing = false
-	if ok {
+	opened := false
+	switch {
+	case ok:
 		b.open, b.fails = false, 0
-		return
-	}
-	if b.open {
+	case b.open:
 		if wasProbe {
 			b.openedAt = time.Now() // failed probe: restart the cooldown
 		}
-		return
-	}
-	b.fails++
-	if b.fails >= b.threshold {
-		b.open, b.openedAt = true, time.Now()
-		if b.opens != nil {
-			b.opens.Add(1)
+	default:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open, b.openedAt = true, time.Now()
+			opened = true
+			if b.opens != nil {
+				b.opens.Add(1)
+			}
 		}
+	}
+	b.mu.Unlock()
+	// The hook runs outside b.mu: it feeds a metrics registry with its
+	// own locking, and breaker state is already settled by now.
+	if opened && b.onOpen != nil {
+		b.onOpen()
 	}
 }
 

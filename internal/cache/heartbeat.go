@@ -1,0 +1,181 @@
+package cache
+
+// Fleet self-registration (DESIGN.md §12): every long-running process
+// with an obs endpoint announces itself to the cache tier under a
+// reserved key so the stellaris-obsd collector can discover scrape
+// targets without static configuration. The protocol is deliberately
+// dumb — a periodic JSON Put with a monotone beat counter — because the
+// cache tier already solves durability, replication and failover; the
+// collector infers liveness from the beat advancing on its own clock
+// (see internal/obs/fleet), so no server-side TTL machinery is needed.
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// KeyObsInstancePrefix is the reserved key prefix for fleet
+// self-registrations. A process registered as ID writes its Instance
+// document under KeyObsInstancePrefix+ID.
+const KeyObsInstancePrefix = "sys/obs/instances/"
+
+// InstanceKey returns the registration key for an instance ID.
+func InstanceKey(id string) string { return KeyObsInstancePrefix + id }
+
+// Instance is one self-registered fleet member, as written under
+// InstanceKey(ID) by Heartbeat and read back by ReadInstances.
+type Instance struct {
+	// ID is the fleet-unique instance name ("shard0", "train", …).
+	ID string `json:"id"`
+	// Role classifies the process: "cached", "train", "obsd", …
+	Role string `json:"role"`
+	// Addr is the instance's obs HTTP endpoint (the scrape target).
+	Addr string `json:"addr"`
+	// CacheAddr is the data-plane listen address for cache servers
+	// (empty otherwise). The collector matches it against the topology
+	// document to decide which registered instance currently LEADS each
+	// shard.
+	CacheAddr string `json:"cache_addr,omitempty"`
+	// Shard is the owning shard ID for shard-scoped processes, -1 for
+	// fleet-scoped ones.
+	Shard int `json:"shard"`
+	// PID is the registering process ID (restart detection).
+	PID int `json:"pid"`
+	// Build carries go version / VCS identity for the fleet table.
+	Build string `json:"build,omitempty"`
+	// Beat is a per-process monotone counter bumped on every heartbeat
+	// write. The collector treats a beat that stops advancing for longer
+	// than TTLSec as a dead instance; a beat that goes BACKWARD (with a
+	// new PID) is a restart, which is still proof of life.
+	Beat int64 `json:"beat"`
+	// TTLSec is the advertised registration time-to-live: the longest
+	// silence after which the instance should be presumed dead. Writers
+	// default it to 3 heartbeat intervals.
+	TTLSec float64 `json:"ttl_sec"`
+}
+
+// DecodeInstance parses a registration document. Unknown fields are
+// ignored (forward compatibility); an empty ID is the only hard error
+// shape callers must check for.
+func DecodeInstance(b []byte) (Instance, error) {
+	var in Instance
+	err := json.Unmarshal(b, &in)
+	return in, err
+}
+
+// Heartbeat periodically re-registers one Instance into a Cache until
+// stopped. Writes are best-effort: a failed Put is counted and retried
+// on the next tick, never surfaced — registration must not be able to
+// take down the process it describes.
+type Heartbeat struct {
+	c     Cache
+	inst  Instance
+	every time.Duration
+
+	errs     atomic.Int64
+	beats    atomic.Int64
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// StartHeartbeat registers inst into c immediately and then on every
+// interval (default 1s; TTLSec defaults to 3 intervals). Call Stop for
+// a graceful deregistration.
+func StartHeartbeat(c Cache, inst Instance, every time.Duration) *Heartbeat {
+	if every <= 0 {
+		every = time.Second
+	}
+	if inst.TTLSec <= 0 {
+		inst.TTLSec = 3 * every.Seconds()
+	}
+	hb := &Heartbeat{
+		c: c, inst: inst, every: every,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	hb.beat()
+	go hb.loop()
+	return hb
+}
+
+func (hb *Heartbeat) loop() {
+	defer close(hb.done)
+	tick := time.NewTicker(hb.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			hb.beat()
+		case <-hb.stop:
+			return
+		}
+	}
+}
+
+func (hb *Heartbeat) beat() {
+	hb.inst.Beat++
+	b, err := json.Marshal(hb.inst)
+	if err == nil {
+		err = hb.c.Put(InstanceKey(hb.inst.ID), b)
+	}
+	if err != nil {
+		hb.errs.Add(1)
+		return
+	}
+	hb.beats.Add(1)
+}
+
+// Beats returns the number of successful registration writes.
+func (hb *Heartbeat) Beats() int64 { return hb.beats.Load() }
+
+// Errs returns the number of failed registration writes.
+func (hb *Heartbeat) Errs() int64 { return hb.errs.Load() }
+
+// Stop halts the ticker and best-effort deletes the registration (a
+// graceful shutdown disappears from the fleet immediately instead of
+// lingering until TTL expiry). Idempotent.
+func (hb *Heartbeat) Stop() {
+	hb.stopOnce.Do(func() {
+		close(hb.stop)
+		<-hb.done
+		_ = hb.c.Delete(InstanceKey(hb.inst.ID))
+	})
+}
+
+// ReadInstances scans every registration under KeyObsInstancePrefix,
+// sorted by ID. Undecodable or vanished entries are skipped, not
+// surfaced: discovery must degrade to a partial fleet view, never fail
+// outright because one writer raced a reader.
+//
+// When c is a ShardedClient the per-key read uses GetAny: cache servers
+// register by writing directly into their own store, so the record
+// lives wherever its writer lives, not where the hash ring would have
+// placed it.
+func ReadInstances(c Cache) ([]Instance, error) {
+	keys, err := c.Keys(KeyObsInstancePrefix)
+	if err != nil {
+		return nil, err
+	}
+	get := c.Get
+	if any, ok := c.(interface{ GetAny(string) ([]byte, error) }); ok {
+		get = any.GetAny
+	}
+	var out []Instance
+	for _, k := range keys {
+		b, err := get(k)
+		if err != nil {
+			continue
+		}
+		in, err := DecodeInstance(b)
+		if err != nil || in.ID == "" {
+			continue
+		}
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}

@@ -21,6 +21,7 @@ package cache
 import (
 	"errors"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,13 @@ type ShardedClient struct {
 	fencedWrites  obs.Counter
 	hedgedReads   obs.Counter
 	breakerOpens  atomic.Int64 // shared with every slot's breaker
+
+	// events mirrors the recovery counters above into the caller's
+	// registry as cache_shard_events_total{event,shard} when
+	// DialOptions.Obs is set — the per-shard series the fleet collector's
+	// derived failover/fence/breaker/hedge rates are computed from. Nil
+	// without a registry.
+	events *obs.CounterVec
 
 	watchOnce sync.Once
 	watchStop chan struct{}
@@ -147,6 +155,10 @@ func DialSharded(topo *cluster.Topology, opts DialOptions) (*ShardedClient, erro
 		topo:      topo.Clone(),
 		watchStop: make(chan struct{}),
 	}
+	if opts.Obs != nil {
+		sc.events = opts.Obs.CounterVec("cache_shard_events_total",
+			"Cluster recovery events by kind and shard.", "event", "shard")
+	}
 	for _, sh := range sc.topo.Shards {
 		cli, err := DialWith(sh.Addr, opts)
 		if err != nil {
@@ -155,14 +167,24 @@ func DialSharded(topo *cluster.Topology, opts DialOptions) (*ShardedClient, erro
 			}
 			return nil, err
 		}
+		id := sh.ID
 		sc.slots = append(sc.slots, &shardSlot{
-			id: sh.ID, cli: cli, addr: sh.Addr, follower: sh.Follower,
+			id: id, cli: cli, addr: sh.Addr, follower: sh.Follower,
 			term:   sh.Term,
 			health: newShardHealth(opts.DegradeWindow),
-			brk:    newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, &sc.breakerOpens),
+			brk: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, &sc.breakerOpens,
+				func() { sc.event("breaker-open", id) }),
 		})
 	}
 	return sc, nil
+}
+
+// event records one per-shard recovery event into the caller's registry
+// (no-op without one).
+func (sc *ShardedClient) event(kind string, shard int) {
+	if sc.events != nil {
+		sc.events.With(kind, strconv.Itoa(shard)).Inc()
+	}
 }
 
 // slotFor routes key to its shard. The ring is immutable (failover and
@@ -304,8 +326,10 @@ func (sc *ShardedClient) failover(slot *shardSlot, epoch int64, gray bool) bool 
 	slot.health.reset()
 	slot.brk.reset()
 	sc.failovers.Inc()
+	sc.event("failover", slot.id)
 	if gray {
 		sc.grayFailovers.Inc()
+		sc.event("gray-failover", slot.id)
 	}
 
 	// Best-effort: record the new leadership in the shared topology so
@@ -358,6 +382,7 @@ func (sc *ShardedClient) fencedDo(slot *shardSlot, op func(c *Client, term int64
 		return err
 	}
 	sc.fencedWrites.Inc()
+	sc.event("fenced-write", slot.id)
 	if _, rerr := sc.RefreshTopology(); rerr != nil {
 		return err
 	}
@@ -580,6 +605,7 @@ func (sc *ShardedClient) hedge(slot *shardSlot, op func(*Client) (any, error)) (
 	}
 	cli, _ := slot.client()
 	sc.hedgedReads.Inc()
+	sc.event("hedged-read", slot.id)
 	type res struct {
 		v      any
 		err    error
@@ -703,6 +729,14 @@ func (sc *ShardedClient) deleteAll(key string) error {
 		}
 	}
 	return firstErr
+}
+
+// GetAny reads key from the first shard that answers, bypassing hash
+// routing. Records written by a process directly into its own shard's
+// store — heartbeat self-registrations under KeyObsInstancePrefix — are
+// not hash-placed, so discovery readers must scan rather than route.
+func (sc *ShardedClient) GetAny(key string) ([]byte, error) {
+	return sc.getAny(key)
 }
 
 func (sc *ShardedClient) getAny(key string) ([]byte, error) {

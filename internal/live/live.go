@@ -168,6 +168,19 @@ type Options struct {
 	// policy-update spans. Families accumulate, so a Registry should
 	// observe exactly one run. Nil disables instrumentation.
 	Obs *obs.Registry
+
+	// ObsID, when set, self-registers the run into the cache tier's
+	// fleet registry (sys/obs/instances/, DESIGN.md §12) so a running
+	// stellaris-obsd discovers it as a scrape target. ObsHTTPAddr is the
+	// obs endpoint advertised in the registration — the caller owns
+	// actually serving Options.Obs there (typically obs.Serve). Ignored
+	// under Lockstep: the deterministic wire schedule must stay a pure
+	// function of the options, and a heartbeat ticker is wall-clock
+	// traffic.
+	ObsID       string
+	ObsHTTPAddr string
+	// HeartbeatEvery is the re-registration interval (default 1s).
+	HeartbeatEvery time.Duration
 }
 
 func (o Options) withDefaults() (Options, error) {

@@ -3,6 +3,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,12 @@ type run struct {
 	// into the Report after the pipeline drains.
 	subMu sync.Mutex
 	subs  []*cache.WeightsSub
+
+	// hb is the run's fleet self-registration (nil unless Options.ObsID
+	// is set outside Lockstep); hbConn is its dedicated connection so
+	// registration writes never contend with the parameter hot path.
+	hb     *cache.Heartbeat
+	hbConn cache.Conn
 
 	// codec is Options.Codec parsed; pub is the delta weight publisher
 	// (nil in gob mode and in lockstep, which keep the legacy single-key
@@ -256,6 +263,20 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 		r.close()
 		return nil, nil, err
 	}
+
+	// Fleet self-registration (DESIGN.md §12): announce this run as a
+	// scrape target on a dedicated connection. Best-effort by design —
+	// a broken registration must never take down training.
+	if opt.ObsID != "" && !opt.Lockstep {
+		hbConn, err := r.dial("heartbeat")
+		if err == nil {
+			r.hbConn = hbConn
+			r.hb = cache.StartHeartbeat(hbConn, cache.Instance{
+				ID: opt.ObsID, Role: "train", Addr: opt.ObsHTTPAddr,
+				Shard: -1, PID: os.Getpid(),
+			}, opt.HeartbeatEvery)
+		}
+	}
 	return r, loaded, nil
 }
 
@@ -263,6 +284,10 @@ func newRun(opt Options) (*run, *ckpt.Checkpoint, error) {
 // in-process server). Worker clients close with their goroutines; the
 // pool keeps references only for post-close counter reads.
 func (r *run) close() {
+	if r.hb != nil {
+		r.hb.Stop()
+		_ = r.hbConn.Close()
+	}
 	if r.paramCli != nil {
 		_ = r.paramCli.Close()
 	}

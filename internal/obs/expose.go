@@ -93,10 +93,78 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	// Quantiles ride as derived gauge series (_p50/_p95/_p99) rather than
+	// native summary quantile labels: the underlying data stays a
+	// histogram; these are the bucket-upper-bound estimates callers get
+	// from Histogram.Quantile. Emitted in a second pass so each derived
+	// family's samples stay contiguous under its TYPE header.
+	for _, suffix := range []string{"_p50", "_p95", "_p99"} {
+		for _, h := range s.Histograms {
+			qname := h.Name + suffix
+			if !seen[qname] {
+				writeHeader(w, qname, "", "gauge")
+				seen[qname] = true
+			}
+			var v JSONFloat
+			switch suffix {
+			case "_p50":
+				v = h.P50
+			case "_p95":
+				v = h.P95
+			case "_p99":
+				v = h.P99
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", qname, formatLabels(h.Labels), formatFloat(float64(v))); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
 // ---- JSON / CSV dumps ----
+
+// JSONFloat is a float64 that survives encoding/json when non-finite:
+// ±Inf and NaN are encoded as strings ("+Inf", "-Inf", "NaN"), finite
+// values as plain numbers. Histogram quantiles need this because the
+// overflow bucket's estimate is +Inf.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler (inverse of MarshalJSON).
+func (f *JSONFloat) UnmarshalJSON(data []byte) error {
+	s := strings.Trim(string(data), `"`)
+	switch s {
+	case "+Inf", "Inf":
+		*f = JSONFloat(math.Inf(1))
+		return nil
+	case "-Inf":
+		*f = JSONFloat(math.Inf(-1))
+		return nil
+	case "NaN":
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}
 
 // MarshalJSON renders the upper bound as a string because the overflow
 // bucket's bound is +Inf, which encoding/json cannot represent as a

@@ -1,0 +1,224 @@
+package fleet
+
+// HTTP surface: /fleet.json (the machine view) and /dash (a single
+// self-contained HTML page — no scripts, no external assets, SVG
+// sparklines rendered server-side from the series store). The page is
+// deliberately boring: one render per request, everything computed in
+// Go, so it works identically over a DES virtual clock in tests.
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"stellaris/internal/cache/cluster"
+)
+
+// FleetView is the /fleet.json payload.
+type FleetView struct {
+	// TimeSec is the collector clock at render.
+	TimeSec float64 `json:"time_sec"`
+	// Ticks counts completed collection rounds.
+	Ticks int64 `json:"ticks"`
+	// Instances is the current fleet membership.
+	Instances []InstanceStatus `json:"instances"`
+	// Topology is the newest adopted cluster document (absent before
+	// one is seen).
+	Topology *cluster.Topology `json:"topology,omitempty"`
+	// Active lists live pending/firing alerts.
+	Active []AlertStatus `json:"active_alerts"`
+	// Events is the bounded transition log, oldest first.
+	Events []AlertEvent `json:"alert_events"`
+	// Series counts live series in the store.
+	Series int `json:"series"`
+	// Profiles lists retained profiling capture base names.
+	Profiles []string `json:"profiles,omitempty"`
+	// Rules echoes the configured alert rules.
+	Rules []Rule `json:"rules,omitempty"`
+}
+
+// View assembles the current fleet state.
+func (c *Collector) View() FleetView {
+	c.mu.Lock()
+	ticks := c.ticks
+	instances := c.statusesLocked()
+	var topo *cluster.Topology
+	if c.topo != nil {
+		topo = c.topo.Clone()
+	}
+	profiles := append([]string(nil), c.profiles...)
+	c.mu.Unlock()
+	return FleetView{
+		TimeSec:   c.clock(),
+		Ticks:     ticks,
+		Instances: instances,
+		Topology:  topo,
+		Active:    c.engine.Active(),
+		Events:    c.engine.Events(),
+		Series:    c.store.Len(),
+		Profiles:  profiles,
+		Rules:     c.engine.Rules(),
+	}
+}
+
+// Handler serves the collector's HTTP surface:
+//
+//	/fleet.json  machine-readable fleet state (FleetView)
+//	/dash        server-rendered HTML+SVG dashboard
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.View())
+	})
+	mux.HandleFunc("/dash", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_ = dashTemplate.Execute(w, c.dashView())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/dash", http.StatusFound)
+	})
+	return mux
+}
+
+// Sparkline geometry.
+const (
+	sparkW = 240
+	sparkH = 40
+)
+
+type dashSpark struct {
+	Title  string
+	Latest string
+	// Points is the precomputed SVG polyline points attribute.
+	Points string
+	Empty  bool
+}
+
+type dashView struct {
+	View   FleetView
+	Sparks []dashSpark
+}
+
+// sparkPoints scales a series into polyline coordinates.
+func sparkPoints(pts []Point) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	minT, maxT := pts[0].T, pts[len(pts)-1].T
+	minV, maxV := pts[0].V, pts[0].V
+	for _, p := range pts {
+		if p.V < minV {
+			minV = p.V
+		}
+		if p.V > maxV {
+			maxV = p.V
+		}
+	}
+	spanT, spanV := maxT-minT, maxV-minV
+	if spanT <= 0 {
+		spanT = 1
+	}
+	if spanV <= 0 {
+		spanV = 1
+	}
+	var b strings.Builder
+	for i, p := range pts {
+		x := (p.T - minT) / spanT * (sparkW - 4)
+		y := (1 - (p.V-minV)/spanV) * (sparkH - 4)
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.1f,%.1f", x+2, y+2)
+	}
+	return b.String()
+}
+
+// dashView builds the render model: every derived fleet series gets a
+// sparkline, in deterministic order.
+func (c *Collector) dashView() dashView {
+	view := c.View()
+	var sparks []dashSpark
+	for _, name := range c.store.Names() {
+		if !strings.HasPrefix(name, "fleet_") {
+			continue
+		}
+		for _, sv := range c.store.Match(FleetInstance, name, "") {
+			title := sv.Name
+			if sv.Labels != "" {
+				title += "{" + sv.Labels + "}"
+			}
+			latest := ""
+			if len(sv.Points) > 0 {
+				latest = fmt.Sprintf("%.4g", sv.Points[len(sv.Points)-1].V)
+			}
+			sparks = append(sparks, dashSpark{
+				Title:  title,
+				Latest: latest,
+				Points: sparkPoints(sv.Points),
+				Empty:  len(sv.Points) < 2,
+			})
+		}
+	}
+	return dashView{View: view, Sparks: sparks}
+}
+
+var dashTemplate = template.Must(template.New("dash").Parse(`<!doctype html>
+<html><head><meta charset="utf-8"><title>stellaris fleet</title>
+<style>
+body{font:13px/1.5 system-ui,sans-serif;margin:1.5em;background:#fafafa;color:#222}
+h1{font-size:1.3em}h2{font-size:1.05em;margin-top:1.6em}
+table{border-collapse:collapse;background:#fff}
+th,td{border:1px solid #ddd;padding:3px 8px;text-align:left;font-size:12px}
+th{background:#f0f0f0}
+.up{color:#0a7a2f;font-weight:600}.down{color:#b00020;font-weight:600}
+.firing{background:#ffe5e8}.pending{background:#fff4d6}
+.sev-page{color:#b00020}.sev-warn{color:#9a6700}
+.sparks{display:flex;flex-wrap:wrap;gap:10px}
+.spark{background:#fff;border:1px solid #ddd;padding:6px;border-radius:4px}
+.spark .t{font-size:11px;color:#555;max-width:240px;overflow:hidden;text-overflow:ellipsis;white-space:nowrap}
+.spark .v{font-size:12px;font-weight:600}
+svg polyline{fill:none;stroke:#3367d6;stroke-width:1.5}
+.muted{color:#888}
+</style></head><body>
+<h1>stellaris fleet &middot; t={{printf "%.1f" .View.TimeSec}}s &middot; tick {{.View.Ticks}} &middot; {{.View.Series}} series</h1>
+
+<h2>Active alerts</h2>
+{{if .View.Active}}<table><tr><th>state</th><th>rule</th><th>severity</th><th>instance</th><th>labels</th><th>value</th><th>since</th><th>trace</th></tr>
+{{range .View.Active}}<tr class="{{.State}}"><td>{{.State}}</td><td>{{.Rule}}</td><td class="sev-{{.Severity}}">{{.Severity}}</td><td>{{.Instance}}</td><td>{{.Labels}}</td><td>{{printf "%.4g" .Value}}</td><td>{{printf "%.1f" .Since}}s</td><td>{{.Trace}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">none</p>{{end}}
+
+<h2>Fleet</h2>
+<table><tr><th>instance</th><th>role</th><th>state</th><th>addr</th><th>cache addr</th><th>shard</th><th>pid</th><th>beat</th><th>schema</th><th>scrapes</th><th>fails</th><th>last error</th></tr>
+{{range .View.Instances}}<tr><td>{{.ID}}</td><td>{{.Role}}</td><td class="{{if .Up}}up{{else}}down{{end}}">{{if .Up}}up{{else}}down{{end}}</td><td>{{.Addr}}</td><td>{{.CacheAddr}}</td><td>{{if ge .Shard 0}}{{.Shard}}{{end}}</td><td>{{.PID}}</td><td>{{.Beat}}</td><td>{{.Schema}}</td><td>{{.Scrapes}}</td><td>{{.Failures}}</td><td class="muted">{{.LastError}}</td></tr>
+{{end}}</table>
+
+{{if .View.Topology}}<h2>Topology v{{.View.Topology.Version}}</h2>
+<table><tr><th>shard</th><th>leader</th><th>follower</th><th>term</th></tr>
+{{range .View.Topology.Shards}}<tr><td>{{.ID}}</td><td>{{.Addr}}</td><td>{{.Follower}}</td><td>{{.Term}}</td></tr>
+{{end}}</table>{{end}}
+
+<h2>Derived signals</h2>
+<div class="sparks">
+{{range .Sparks}}<div class="spark"><div class="t">{{.Title}}</div><div class="v">{{.Latest}}</div>
+{{if .Empty}}<div class="muted">collecting&hellip;</div>{{else}}<svg width="240" height="40" viewBox="0 0 240 40"><polyline points="{{.Points}}"/></svg>{{end}}
+</div>
+{{end}}</div>
+
+<h2>Alert log</h2>
+{{if .View.Events}}<table><tr><th>seq</th><th>t</th><th>state</th><th>rule</th><th>instance</th><th>labels</th><th>value</th><th>reason</th><th>trace</th></tr>
+{{range .View.Events}}<tr class="{{.State}}"><td>{{.Seq}}</td><td>{{printf "%.1f" .TimeSec}}s</td><td>{{.State}}</td><td>{{.Rule}}</td><td>{{.Instance}}</td><td>{{.Labels}}</td><td>{{printf "%.4g" .Value}}</td><td>{{.Reason}}</td><td>{{.Trace}}</td></tr>
+{{end}}</table>{{else}}<p class="muted">no transitions yet</p>{{end}}
+
+{{if .View.Profiles}}<h2>Profile captures</h2>
+<ul>{{range .View.Profiles}}<li>{{.}}</li>{{end}}</ul>{{end}}
+</body></html>
+`))

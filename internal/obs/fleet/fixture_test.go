@@ -1,0 +1,75 @@
+package fleet
+
+// Schema-compatibility contract (ISSUE 10 satellite): the collector
+// must tolerantly decode snapshots from writers both older (no
+// schema_version, no histogram quantiles) and newer (unknown fields)
+// than itself. testdata/metrics_v0.json is FROZEN — it captures the
+// wire format before schema_version existed; do not regenerate it.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stellaris/internal/cache"
+)
+
+func TestTolerantDecodeFrozenFixture(t *testing.T) {
+	fixture, err := os.ReadFile(filepath.Join("testdata", "metrics_v0.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := 1.0
+	col, err := New(Config{
+		Clock:   func() float64 { return now },
+		Targets: []string{"old:1"},
+		Fetch: func(url string) ([]byte, error) {
+			return fixture, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	if evs := col.Tick(); len(evs) != 0 {
+		t.Fatalf("unexpected transitions: %+v", evs)
+	}
+
+	insts := col.Instances()
+	if len(insts) != 1 || !insts[0].Up {
+		t.Fatalf("fixture instance not up: %+v", insts)
+	}
+	// A v0 writer carries no schema_version: decodes as 0, not an error.
+	if insts[0].Schema != 0 {
+		t.Fatalf("schema = %d, want 0 for pre-versioning writer", insts[0].Schema)
+	}
+	if insts[0].Failures != 0 {
+		t.Fatalf("tolerant decode recorded a failure: %+v", insts[0])
+	}
+
+	// Everything the old writer exported landed in the store: counters,
+	// labeled counters, gauges, and histogram-derived series (quantile
+	// gauges are simply absent when the writer predates them).
+	id := "old:1"
+	if p, ok := col.Store().Latest(id, "live_updates_total", nil); !ok || p.V != 12 {
+		t.Fatalf("counter: %+v, %v", p, ok)
+	}
+	if p, ok := col.Store().Latest(id, "live_drops_total", map[string]string{"reason": "stale"}); !ok || p.V != 3 {
+		t.Fatalf("labeled counter: %+v, %v", p, ok)
+	}
+	if p, ok := col.Store().Latest(id, "live_gradient_staleness", nil); !ok || p.V != 2.5 {
+		t.Fatalf("gauge: %+v, %v", p, ok)
+	}
+	if p, ok := col.Store().Latest(id, "live_step_seconds_count", nil); !ok || p.V != 4 {
+		t.Fatalf("histogram count: %+v, %v", p, ok)
+	}
+	if p, ok := col.Store().Latest(id, "live_step_seconds_mean", nil); !ok || p.V != 0.1 {
+		t.Fatalf("histogram mean: %+v, %v", p, ok)
+	}
+
+	// cache.Instance registrations decode just as tolerantly.
+	if _, err := cache.DecodeInstance([]byte(`{"id":"x","role":"r","addr":"a","beat":1,"new_field_from_the_future":true}`)); err != nil {
+		t.Fatalf("instance decode rejected unknown field: %v", err)
+	}
+}

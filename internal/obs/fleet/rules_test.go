@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThresholdHysteresis(t *testing.T) {
+	st := NewStore(16, 0)
+	eng := NewEngine([]Rule{{
+		Name: "hot", Metric: "temp", Threshold: 50, ForSec: 5, Severity: "page",
+	}}, 0)
+
+	// Violating, but within the for-duration: pending only.
+	st.ObserveGauge(0, "a", "r", "temp", nil, 80)
+	if evs := eng.Eval(st, 0); len(evs) != 0 {
+		t.Fatalf("fired without dwell: %+v", evs)
+	}
+	active := eng.Active()
+	if len(active) != 1 || active[0].State != StatePending {
+		t.Fatalf("want one pending alert, got %+v", active)
+	}
+
+	// A dip before the dwell elapses clears the pending spell silently.
+	st.ObserveGauge(2, "a", "r", "temp", nil, 10)
+	if evs := eng.Eval(st, 2); len(evs) != 0 {
+		t.Fatalf("resolving a pending alert emitted events: %+v", evs)
+	}
+	if len(eng.Active()) != 0 {
+		t.Fatal("pending alert survived recovery")
+	}
+
+	// Violating continuously through the dwell: fires exactly once.
+	st.ObserveGauge(3, "a", "r", "temp", nil, 90)
+	eng.Eval(st, 3)
+	st.ObserveGauge(7, "a", "r", "temp", nil, 91)
+	if evs := eng.Eval(st, 7); len(evs) != 0 {
+		t.Fatalf("fired before ForSec elapsed: %+v", evs)
+	}
+	st.ObserveGauge(8.5, "a", "r", "temp", nil, 92)
+	evs := eng.Eval(st, 8.5)
+	if len(evs) != 1 || evs[0].State != StateFiring {
+		t.Fatalf("want firing event, got %+v", evs)
+	}
+	if evs[0].Trace != "alert/hot/1" {
+		t.Fatalf("trace = %q", evs[0].Trace)
+	}
+	if evs[0].Severity != "page" || evs[0].Value != 92 {
+		t.Fatalf("event fields: %+v", evs[0])
+	}
+	// Still violating: no duplicate firing.
+	st.ObserveGauge(9, "a", "r", "temp", nil, 95)
+	if evs := eng.Eval(st, 9); len(evs) != 0 {
+		t.Fatalf("duplicate firing: %+v", evs)
+	}
+
+	// Recovery resolves with the same trace.
+	st.ObserveGauge(10, "a", "r", "temp", nil, 20)
+	evs = eng.Eval(st, 10)
+	if len(evs) != 1 || evs[0].State != StateResolved || evs[0].Trace != "alert/hot/1" {
+		t.Fatalf("want resolve sharing the firing trace, got %+v", evs)
+	}
+
+	// Second incident gets a fresh trace.
+	st.ObserveGauge(20, "a", "r", "temp", nil, 99)
+	eng.Eval(st, 20)
+	st.ObserveGauge(26, "a", "r", "temp", nil, 99)
+	evs = eng.Eval(st, 26)
+	if len(evs) != 1 || evs[0].Trace != "alert/hot/2" {
+		t.Fatalf("second incident trace: %+v", evs)
+	}
+	if got := len(eng.Events()); got != 3 {
+		t.Fatalf("event log holds %d, want 3", got)
+	}
+}
+
+func TestBelowAndRateRules(t *testing.T) {
+	st := NewStore(32, 0)
+	eng := NewEngine([]Rule{
+		{Name: "stalled", Metric: "throughput", Threshold: 1, Below: true},
+		{Name: "churn", Metric: "restarts", Kind: KindRate, WindowSec: 10, Threshold: 0.5},
+	}, 0)
+
+	st.ObserveGauge(0, "a", "r", "throughput", nil, 0.2)
+	for i := 0; i <= 10; i++ {
+		st.ObserveCounter(float64(i), "a", "r", "restarts", nil, float64(i)) // 1/s
+	}
+	evs := eng.Eval(st, 10)
+	if len(evs) != 2 {
+		t.Fatalf("want both rules firing immediately (ForSec=0), got %+v", evs)
+	}
+	rules := map[string]bool{}
+	for _, ev := range evs {
+		rules[ev.Rule] = ev.State == StateFiring
+	}
+	if !rules["stalled"] || !rules["churn"] {
+		t.Fatalf("fired set: %+v", rules)
+	}
+}
+
+func TestPerSeriesFanoutAndGoneResolve(t *testing.T) {
+	st := NewStore(16, 5)
+	eng := NewEngine([]Rule{{
+		Name: "down", Metric: "fleet_instance_up", Below: true, Threshold: 0.5,
+	}}, 0)
+	st.ObserveGauge(0, FleetInstance, "fleet", "fleet_instance_up", map[string]string{"instance": "a"}, 0)
+	st.ObserveGauge(0, FleetInstance, "fleet", "fleet_instance_up", map[string]string{"instance": "b"}, 1)
+	evs := eng.Eval(st, 0)
+	if len(evs) != 1 || !strings.Contains(evs[0].Labels, "instance=a") {
+		t.Fatalf("per-series fanout: %+v", evs)
+	}
+
+	// The violating series goes silent past retention: GC removes it and
+	// the firing alert resolves with reason gone.
+	st.ObserveGauge(20, FleetInstance, "fleet", "fleet_instance_up", map[string]string{"instance": "b"}, 1)
+	st.GC(20)
+	evs = eng.Eval(st, 20)
+	if len(evs) != 1 || evs[0].State != StateResolved || evs[0].Reason != "gone" {
+		t.Fatalf("gone-resolve: %+v", evs)
+	}
+	if len(eng.Active()) != 0 {
+		t.Fatalf("stale state survived: %+v", eng.Active())
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	st := NewStore(8, 0)
+	eng := NewEngine([]Rule{{Name: "flap", Metric: "v", Threshold: 5}}, 4)
+	for i := 0; i < 20; i++ {
+		st.ObserveGauge(float64(2*i), "a", "r", "v", nil, 10)
+		eng.Eval(st, float64(2*i))
+		st.ObserveGauge(float64(2*i+1), "a", "r", "v", nil, 0)
+		eng.Eval(st, float64(2*i+1))
+	}
+	evs := eng.Events()
+	if len(evs) != 4 {
+		t.Fatalf("log holds %d, want cap 4", len(evs))
+	}
+	if evs[len(evs)-1].Seq != 40 {
+		t.Fatalf("newest seq = %d, want 40", evs[len(evs)-1].Seq)
+	}
+}

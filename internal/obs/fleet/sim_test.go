@@ -1,0 +1,418 @@
+package fleet
+
+// Simulation-mode fleet tests: the whole telemetry plane — discovery,
+// scraping, derived signals, rule hysteresis, instance lifecycle — runs
+// on a pure virtual clock with an injected in-memory Fetch. No sockets,
+// no sleeps, exact virtual-time assertions: the DES integration the
+// tentpole requires.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"stellaris/internal/cache"
+	"stellaris/internal/obs"
+)
+
+// simFleet fakes a fleet: per-instance registries served through an
+// injected Fetch, registrations written directly into a MemCache, all
+// on one shared virtual clock.
+type simFleet struct {
+	t     *testing.T
+	now   float64
+	disc  *cache.MemCache
+	regs  map[string]*obs.Registry // keyed by fake scrape addr
+	dead  map[string]bool          // addr -> fetch refuses (process killed)
+	beats map[string]cache.Instance
+}
+
+func newSimFleet(t *testing.T) *simFleet {
+	return &simFleet{
+		t:     t,
+		disc:  cache.NewMemCache(),
+		regs:  make(map[string]*obs.Registry),
+		dead:  make(map[string]bool),
+		beats: make(map[string]cache.Instance),
+	}
+}
+
+func (sf *simFleet) clock() float64 { return sf.now }
+
+// addInstance creates a registry served at a fake addr and registers
+// the instance in the discovery cache.
+func (sf *simFleet) addInstance(in cache.Instance) *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.SetClock(sf.clock)
+	sf.regs[in.Addr] = reg
+	sf.beats[in.ID] = in
+	sf.writeReg(in.ID)
+	return reg
+}
+
+// beat advances an instance's heartbeat counter (one virtual liveness
+// proof) and rewrites its registration.
+func (sf *simFleet) beat(id string) {
+	in := sf.beats[id]
+	in.Beat++
+	sf.beats[id] = in
+	sf.writeReg(id)
+}
+
+// restart simulates a process restart: new PID, beat counter reset.
+func (sf *simFleet) restart(id string, pid int) {
+	in := sf.beats[id]
+	in.PID = pid
+	in.Beat = 1
+	sf.beats[id] = in
+	sf.dead[in.Addr] = false
+	sf.writeReg(id)
+}
+
+func (sf *simFleet) kill(id string) { sf.dead[sf.beats[id].Addr] = true }
+
+func (sf *simFleet) writeReg(id string) {
+	b, err := json.Marshal(sf.beats[id])
+	if err != nil {
+		sf.t.Fatal(err)
+	}
+	if err := sf.disc.Put(cache.InstanceKey(id), b); err != nil {
+		sf.t.Fatal(err)
+	}
+}
+
+// fetch serves /metrics.json from the fake registries.
+func (sf *simFleet) fetch(url string) ([]byte, error) {
+	rest := strings.TrimPrefix(url, "http://")
+	addr, path, _ := strings.Cut(rest, "/")
+	if sf.dead[addr] {
+		return nil, fmt.Errorf("sim: connection refused: %s", addr)
+	}
+	reg, ok := sf.regs[addr]
+	if !ok || path != "metrics.json" {
+		return nil, fmt.Errorf("sim: 404 %s", url)
+	}
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// TestSimVirtualClockAlerting drives a one-instance fleet on virtual
+// time: updates flow, then stall, and the rate rule must walk
+// pending→firing with exact virtual-time hysteresis, then resolve when
+// updates resume.
+func TestSimVirtualClockAlerting(t *testing.T) {
+	sf := newSimFleet(t)
+	reg := sf.addInstance(cache.Instance{
+		ID: "train", Role: "train", Addr: "train:1", Shard: -1, PID: 1, TTLSec: 3,
+	})
+	updates := reg.Counter("live_updates_total", "policy updates")
+
+	col, err := New(Config{
+		Clock:    sf.clock,
+		Discover: sf.disc,
+		Fetch:    sf.fetch,
+		Rules: []Rule{{
+			Name: "updates-stalled", Metric: "live_updates_total",
+			Kind: KindRate, WindowSec: 4, Below: true, Threshold: 0.1,
+			ForSec: 3, Severity: "page",
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// t=0..9: one update per virtual second — the rule stays quiet once
+	// the rate window has data (the first ticks legitimately read rate 0
+	// and may go pending, but cannot FIRE before ForSec elapses, by
+	// which time the rate is healthy).
+	var events []AlertEvent
+	for sf.now = 0; sf.now < 10; sf.now++ {
+		updates.Inc()
+		sf.beat("train")
+		events = append(events, col.Tick()...)
+	}
+	if len(events) != 0 {
+		t.Fatalf("healthy run produced transitions: %+v", events)
+	}
+	if up, ok := col.Store().Latest(FleetInstance, "fleet_instance_up",
+		map[string]string{"instance": "train", "role": "train"}); !ok || up.V != 1 {
+		t.Fatalf("fleet_instance_up = %+v, %v", up, ok)
+	}
+	insts := col.Instances()
+	if len(insts) != 1 || !insts[0].Up || insts[0].Schema != obs.SnapshotSchema {
+		t.Fatalf("instance status: %+v", insts)
+	}
+
+	// t=10..: updates stall (heartbeats continue — the process is alive,
+	// just not making progress). Rate over the 4s window hits zero once
+	// the last increment ages out, the rule goes pending, and must fire
+	// exactly ForSec after the violation started.
+	var firedAt float64 = -1
+	for sf.now = 10; sf.now < 25; sf.now++ {
+		sf.beat("train")
+		for _, ev := range col.Tick() {
+			if ev.State == StateFiring {
+				firedAt = ev.TimeSec
+			}
+		}
+		if firedAt >= 0 {
+			break
+		}
+	}
+	if firedAt < 0 {
+		t.Fatal("stall never fired")
+	}
+	// Violation starts when the window [now-4, now] no longer spans an
+	// increment. The last increment landed in the scrape at t=9; at t=13
+	// the window [9,13] has zero delta, so the rule goes pending at 13
+	// and ForSec=3 fires it at exactly t=16 — virtual determinism is the
+	// point of this test.
+	if firedAt != 16 {
+		t.Fatalf("fired at virtual t=%v, want exactly 16", firedAt)
+	}
+	active := col.Engine().Active()
+	if len(active) != 1 || active[0].State != StateFiring || active[0].Trace != "alert/updates-stalled/1" {
+		t.Fatalf("active: %+v", active)
+	}
+
+	// Updates resume: resolved on the first tick whose window shows a
+	// healthy rate again.
+	var resolvedAt float64 = -1
+	for sf.now = firedAt + 1; sf.now < firedAt+12; sf.now++ {
+		updates.Add(3)
+		sf.beat("train")
+		for _, ev := range col.Tick() {
+			if ev.State == StateResolved {
+				resolvedAt = ev.TimeSec
+			}
+		}
+		if resolvedAt >= 0 {
+			break
+		}
+	}
+	if resolvedAt != firedAt+1 {
+		t.Fatalf("resolved at %v, want %v", resolvedAt, firedAt+1)
+	}
+
+	// The transition log carries both transitions under one trace.
+	evs := col.Engine().Events()
+	if len(evs) != 2 || evs[0].Trace != evs[1].Trace {
+		t.Fatalf("event log: %+v", evs)
+	}
+	view := col.View()
+	if view.TimeSec != sf.now || len(view.Events) != 2 || len(view.Active) != 0 {
+		t.Fatalf("fleet view: t=%v events=%d active=%d", view.TimeSec, len(view.Events), len(view.Active))
+	}
+}
+
+// TestSimHeartbeatLifecycle is the registration lifecycle drill
+// (ISSUE 10 satellite): registration appears; a hard kill expires via
+// TTL and eventually drops out of /fleet.json; a restart re-registers
+// and the store keeps scraped counter deltas monotone across the
+// process's counter reset.
+func TestSimHeartbeatLifecycle(t *testing.T) {
+	sf := newSimFleet(t)
+	reg := sf.addInstance(cache.Instance{
+		ID: "w1", Role: "cached", Addr: "w1:9", CacheAddr: "w1:7000",
+		Shard: 0, PID: 100, TTLSec: 3,
+	})
+	ops := reg.Counter("cache_server_ops_total", "ops")
+
+	col, err := New(Config{
+		Clock:     sf.clock,
+		Discover:  sf.disc,
+		Fetch:     sf.fetch,
+		ForgetSec: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// Phase 1 — alive: registration appears, scrape lands, Up.
+	for sf.now = 1; sf.now <= 5; sf.now++ {
+		ops.Add(10)
+		sf.beat("w1")
+		col.Tick()
+	}
+	view := col.View()
+	if len(view.Instances) != 1 || !view.Instances[0].Up {
+		t.Fatalf("registered instance missing/down: %+v", view.Instances)
+	}
+	if view.Instances[0].CacheAddr != "w1:7000" || view.Instances[0].PID != 100 {
+		t.Fatalf("registration fields: %+v", view.Instances[0])
+	}
+	preKill, ok := col.Store().Latest("w1", "cache_server_ops_total", nil)
+	if !ok || preKill.V != 50 {
+		t.Fatalf("pre-kill cumulative = %+v, %v", preKill, ok)
+	}
+
+	// Phase 2 — hard kill: beats stop, fetch refuses. TTL (3s) expires →
+	// down in /fleet.json, still listed.
+	sf.kill("w1")
+	for sf.now = 6; sf.now <= 9; sf.now++ {
+		col.Tick()
+	}
+	view = col.View()
+	if len(view.Instances) != 1 || view.Instances[0].Up {
+		t.Fatalf("killed instance still up at t=9: %+v", view.Instances)
+	}
+
+	// Phase 3 — restart before the forget horizon: new PID, beat counter
+	// reset to 1 — still proof of life. The process counter also reset;
+	// the store's cumulative series must stay monotone.
+	sf.restart("w1", 101)
+	reg2 := obs.NewRegistry()
+	reg2.SetClock(sf.clock)
+	sf.regs["w1:9"] = reg2
+	ops2 := reg2.Counter("cache_server_ops_total", "ops")
+	for sf.now = 10; sf.now <= 13; sf.now++ {
+		ops2.Add(4)
+		sf.beat("w1")
+		col.Tick()
+	}
+	view = col.View()
+	if len(view.Instances) != 1 || !view.Instances[0].Up || view.Instances[0].PID != 101 {
+		t.Fatalf("restarted instance not back up: %+v", view.Instances)
+	}
+	pts := col.Store().Match("w1", "cache_server_ops_total", "")[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V < pts[i-1].V {
+			t.Fatalf("cumulative regressed across restart at %d: %+v", i, pts)
+		}
+	}
+	post, _ := col.Store().Latest("w1", "cache_server_ops_total", nil)
+	if post.V != 50+16 {
+		t.Fatalf("post-restart cumulative = %v, want 66 (50 pre-kill + 16 post)", post.V)
+	}
+
+	// Phase 4 — kill for good: past ForgetSec the instance vanishes from
+	// /fleet.json and its series leave the store.
+	sf.kill("w1")
+	for sf.now = 14; sf.now <= 23; sf.now++ {
+		col.Tick()
+	}
+	view = col.View()
+	if len(view.Instances) != 0 {
+		t.Fatalf("forgotten instance still listed: %+v", view.Instances)
+	}
+	if got := len(col.Store().Match("w1", "cache_server_ops_total", "")); got != 0 {
+		t.Fatalf("forgotten instance's series survived: %d", got)
+	}
+}
+
+// TestSimInstanceDownGoneResolution: an instance-down alert fires when
+// the instance's TTL expires, and must gone-resolve the moment the
+// forget sweep retires the instance — not hang firing on the stale
+// derived fleet_instance_up point until retention GC.
+func TestSimInstanceDownGoneResolution(t *testing.T) {
+	sf := newSimFleet(t)
+	sf.addInstance(cache.Instance{
+		ID: "w3", Role: "train", Addr: "w3:9", Shard: -1, PID: 9, TTLSec: 3,
+	})
+	col, err := New(Config{
+		Clock:     sf.clock,
+		Discover:  sf.disc,
+		Fetch:     sf.fetch,
+		ForgetSec: 8,
+		Rules: []Rule{{
+			Name: "instance-down", Metric: "fleet_instance_up",
+			Instance: FleetInstance, Labels: map[string]string{"instance": "w3"},
+			Below: true, Threshold: 0.5, ForSec: 2, Severity: "page",
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// Alive: no alert.
+	for sf.now = 1; sf.now <= 5; sf.now++ {
+		sf.beat("w3")
+		col.Tick()
+	}
+	if got := len(col.Engine().Active()); got != 0 {
+		t.Fatalf("healthy fleet has %d active alerts", got)
+	}
+
+	// Hard kill: TTL (3s) expires, the derived up gauge drops to 0, and
+	// after ForSec the rule fires.
+	sf.kill("w3")
+	for sf.now = 6; sf.now <= 12; sf.now++ {
+		col.Tick()
+	}
+	var fired *AlertEvent
+	for _, ev := range col.Engine().Events() {
+		if ev.Rule == "instance-down" && ev.State == StateFiring {
+			e := ev
+			fired = &e
+		}
+	}
+	if fired == nil {
+		t.Fatalf("instance-down never fired: %+v", col.Engine().Events())
+	}
+
+	// Forget horizon (8s past last beat at t=5): the sweep retires the
+	// instance AND its derived series, so the very same tick's Eval must
+	// gone-resolve the alert.
+	for sf.now = 13; sf.now <= 15; sf.now++ {
+		col.Tick()
+	}
+	if got := len(col.Instances()); got != 0 {
+		t.Fatalf("forgotten instance still tracked: %d", got)
+	}
+	if got := col.Store().Match(FleetInstance, "fleet_instance_up", "instance=w3"); len(got) != 0 {
+		t.Fatalf("derived series survived forget: %+v", got)
+	}
+	var resolved *AlertEvent
+	for _, ev := range col.Engine().Events() {
+		if ev.Rule == "instance-down" && ev.State == StateResolved {
+			e := ev
+			resolved = &e
+		}
+	}
+	if resolved == nil {
+		t.Fatalf("alert never resolved after forget; events: %+v", col.Engine().Events())
+	}
+	if resolved.Reason != "gone" {
+		t.Fatalf("resolution reason = %q, want gone", resolved.Reason)
+	}
+	if resolved.Trace != fired.Trace {
+		t.Fatalf("resolve trace %q != fire trace %q", resolved.Trace, fired.Trace)
+	}
+	if got := len(col.Engine().Active()); got != 0 {
+		t.Fatalf("alert still active after gone-resolution: %+v", col.Engine().Active())
+	}
+}
+
+// TestSimGracefulDeregistration: a Delete of the registration key (what
+// Heartbeat.Stop does) removes the instance on the next tick, without
+// waiting for TTL.
+func TestSimGracefulDeregistration(t *testing.T) {
+	sf := newSimFleet(t)
+	sf.addInstance(cache.Instance{ID: "w2", Role: "train", Addr: "w2:9", Shard: -1, PID: 7, TTLSec: 30})
+	col, err := New(Config{Clock: sf.clock, Discover: sf.disc, Fetch: sf.fetch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	sf.now = 1
+	col.Tick()
+	if got := len(col.Instances()); got != 1 {
+		t.Fatalf("instances = %d", got)
+	}
+	if err := sf.disc.Delete(cache.InstanceKey("w2")); err != nil {
+		t.Fatal(err)
+	}
+	sf.now = 2
+	col.Tick()
+	if got := len(col.Instances()); got != 0 {
+		t.Fatalf("deregistered instance still tracked: %d", got)
+	}
+}

@@ -1,0 +1,347 @@
+// Package fleet is the fleet-wide telemetry plane (DESIGN.md §12): a
+// windowed time-series store fed by scraping every instance's
+// /metrics.json, derived cluster-level signals, an alert-rule engine
+// with for-duration hysteresis, optional continuous-profiling capture
+// on alert firing, and a server-rendered HTML+SVG dashboard. The
+// stellaris-obsd daemon is a thin CLI around a Collector.
+//
+// Clock contract: this package never reads wall time (enforced by
+// stellaris-lint's wallclock check). The Collector is purely reactive —
+// every collection round happens inside an externally driven Tick(),
+// timestamped by the injected Clock, so the whole plane runs unchanged
+// on the DES virtual clock in simulation mode.
+package fleet
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SeriesKey identifies one stored series: the owning instance, the
+// metric name, and the canonical label string (sorted k=v pairs joined
+// by commas — see CanonLabels).
+type SeriesKey struct {
+	Instance string
+	Name     string
+	Labels   string
+}
+
+// CanonLabels renders a label map in canonical form.
+func CanonLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, len(labels))
+	for k, v := range labels {
+		pairs = append(pairs, k+"="+v)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+// matchLabels reports whether canonical label string have includes
+// every k=v pair of want (want in canonical form; empty matches all).
+func matchLabels(have, want string) bool {
+	if want == "" {
+		return true
+	}
+	haveSet := make(map[string]bool)
+	for _, p := range strings.Split(have, ",") {
+		haveSet[p] = true
+	}
+	for _, p := range strings.Split(want, ",") {
+		if !haveSet[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Point is one sample: timestamp (collector clock, seconds) and value.
+// For counter series the value is the restart-corrected cumulative
+// total, not the raw scraped value.
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// series is one fixed-capacity ring of points plus counter bookkeeping.
+type series struct {
+	key  SeriesKey
+	role string
+	// counter is true for delta-aware cumulative series.
+	counter bool
+	// lastRaw/base implement restart correction: a raw sample below the
+	// previous one means the emitting process restarted and its counter
+	// reset, so the previous total is folded into base and accumulation
+	// continues monotonically.
+	lastRaw float64
+	base    float64
+
+	ring  []Point
+	start int // index of oldest point
+	n     int // points held
+}
+
+func (s *series) push(p Point) {
+	if s.n < len(s.ring) {
+		s.ring[(s.start+s.n)%len(s.ring)] = p
+		s.n++
+		return
+	}
+	s.ring[s.start] = p
+	s.start = (s.start + 1) % len(s.ring)
+}
+
+// points returns the held points oldest-first (copy).
+func (s *series) points() []Point {
+	out := make([]Point, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.ring[(s.start+i)%len(s.ring)]
+	}
+	return out
+}
+
+func (s *series) latest() (Point, bool) {
+	if s.n == 0 {
+		return Point{}, false
+	}
+	return s.ring[(s.start+s.n-1)%len(s.ring)], true
+}
+
+// Store is the windowed time-series store. All methods are safe for
+// concurrent use; timestamps are supplied by the caller (the Collector
+// clock), never read from the system.
+type Store struct {
+	mu        sync.Mutex
+	capacity  int     // points per series ring
+	retention float64 // seconds a series may go silent before GC drops it
+	series    map[SeriesKey]*series
+	order     []SeriesKey // insertion order, for deterministic listings
+}
+
+// DefaultPointsPerSeries bounds each ring when the caller passes 0.
+const DefaultPointsPerSeries = 512
+
+// NewStore returns a store holding up to pointsPerSeries samples per
+// series and garbage-collecting series silent for retentionSec (<= 0
+// disables GC).
+func NewStore(pointsPerSeries int, retentionSec float64) *Store {
+	if pointsPerSeries <= 0 {
+		pointsPerSeries = DefaultPointsPerSeries
+	}
+	return &Store{
+		capacity:  pointsPerSeries,
+		retention: retentionSec,
+		series:    make(map[SeriesKey]*series),
+	}
+}
+
+func (st *Store) get(key SeriesKey, role string, counter bool) *series {
+	s, ok := st.series[key]
+	if !ok {
+		s = &series{key: key, role: role, counter: counter, ring: make([]Point, st.capacity)}
+		st.series[key] = s
+		st.order = append(st.order, key)
+	}
+	if role != "" {
+		s.role = role
+	}
+	return s
+}
+
+// ObserveGauge records a gauge sample.
+func (st *Store) ObserveGauge(t float64, inst, role, name string, labels map[string]string, v float64) {
+	key := SeriesKey{Instance: inst, Name: name, Labels: CanonLabels(labels)}
+	st.mu.Lock()
+	st.get(key, role, false).push(Point{T: t, V: v})
+	st.mu.Unlock()
+}
+
+// ObserveCounter records a counter sample from its raw scraped value,
+// folding process restarts into a monotone cumulative total: when raw
+// regresses, the previous total becomes the new base. The stored series
+// never decreases, so windowed rates stay meaningful across restarts.
+func (st *Store) ObserveCounter(t float64, inst, role, name string, labels map[string]string, raw float64) {
+	key := SeriesKey{Instance: inst, Name: name, Labels: CanonLabels(labels)}
+	st.mu.Lock()
+	s := st.get(key, role, true)
+	if raw < s.lastRaw {
+		s.base += s.lastRaw
+	}
+	s.lastRaw = raw
+	s.push(Point{T: t, V: s.base + raw})
+	st.mu.Unlock()
+}
+
+// Latest returns the most recent sample of the exact series.
+func (st *Store) Latest(inst, name string, labels map[string]string) (Point, bool) {
+	key := SeriesKey{Instance: inst, Name: name, Labels: CanonLabels(labels)}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.series[key]
+	if !ok {
+		return Point{}, false
+	}
+	return s.latest()
+}
+
+// Rate returns the per-second increase of a cumulative series over the
+// trailing window ending at now. Zero when fewer than two points fall
+// inside the window. Works on gauges too (then it is a slope, which the
+// rule engine does not use).
+func (st *Store) Rate(inst, name string, labels map[string]string, windowSec, now float64) float64 {
+	key := SeriesKey{Instance: inst, Name: name, Labels: CanonLabels(labels)}
+	st.mu.Lock()
+	s, ok := st.series[key]
+	if !ok {
+		st.mu.Unlock()
+		return 0
+	}
+	pts := s.points()
+	st.mu.Unlock()
+	return rateOf(pts, windowSec, now)
+}
+
+func rateOf(pts []Point, windowSec, now float64) float64 {
+	lo := now - windowSec
+	var first, last *Point
+	for i := range pts {
+		if pts[i].T < lo || pts[i].T > now {
+			continue
+		}
+		if first == nil {
+			first = &pts[i]
+		}
+		last = &pts[i]
+	}
+	if first == nil || last == nil || last.T <= first.T {
+		return 0
+	}
+	return (last.V - first.V) / (last.T - first.T)
+}
+
+// SeriesView is one series exported for matching, dashboards and
+// /fleet.json.
+type SeriesView struct {
+	Instance string  `json:"instance"`
+	Role     string  `json:"role,omitempty"`
+	Name     string  `json:"name"`
+	Labels   string  `json:"labels,omitempty"`
+	Counter  bool    `json:"counter,omitempty"`
+	Points   []Point `json:"points,omitempty"`
+}
+
+// Match returns every series with the given metric name whose labels
+// include the canonical want pairs, in insertion order. instance == ""
+// matches every instance.
+func (st *Store) Match(instance, name, wantLabels string) []SeriesView {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []SeriesView
+	for _, key := range st.order {
+		if key.Name != name {
+			continue
+		}
+		if instance != "" && key.Instance != instance {
+			continue
+		}
+		if !matchLabels(key.Labels, wantLabels) {
+			continue
+		}
+		s := st.series[key]
+		if s == nil || s.n == 0 {
+			continue
+		}
+		out = append(out, SeriesView{
+			Instance: key.Instance, Role: s.role, Name: key.Name,
+			Labels: key.Labels, Counter: s.counter, Points: s.points(),
+		})
+	}
+	return out
+}
+
+// Names returns every distinct metric name held, sorted.
+func (st *Store) Names() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, key := range st.order {
+		if !seen[key.Name] {
+			seen[key.Name] = true
+			out = append(out, key.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live series.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.series)
+}
+
+// GC drops series whose newest point is older than the retention
+// window (no-op when retention is disabled). Returns how many series
+// were dropped.
+func (st *Store) GC(now float64) int {
+	if st.retention <= 0 {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	dropped := 0
+	keep := st.order[:0]
+	for _, key := range st.order {
+		s := st.series[key]
+		if p, ok := s.latest(); ok && now-p.T > st.retention {
+			delete(st.series, key)
+			dropped++
+			continue
+		}
+		keep = append(keep, key)
+	}
+	st.order = keep
+	return dropped
+}
+
+// DropInstance removes every series owned by an instance (called when
+// the collector forgets a long-dead registration).
+func (st *Store) DropInstance(inst string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	keep := st.order[:0]
+	for _, key := range st.order {
+		if key.Instance == inst {
+			delete(st.series, key)
+			continue
+		}
+		keep = append(keep, key)
+	}
+	st.order = keep
+}
+
+// DropLabeled removes every series owned by inst whose labels include
+// all the given pairs. The collector uses it to retire derived
+// per-instance gauges (e.g. fleet_instance_up{instance=X}) when X is
+// deregistered or forgotten: derive() stops refreshing those series,
+// and without an explicit drop the stale last point would keep an
+// instance-down alert firing until retention GC.
+func (st *Store) DropLabeled(inst string, labels map[string]string) {
+	want := CanonLabels(labels)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	keep := st.order[:0]
+	for _, key := range st.order {
+		if key.Instance == inst && matchLabels(key.Labels, want) {
+			delete(st.series, key)
+			continue
+		}
+		keep = append(keep, key)
+	}
+	st.order = keep
+}

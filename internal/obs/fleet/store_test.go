@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func TestRingCapacity(t *testing.T) {
+	st := NewStore(4, 0)
+	for i := 0; i < 10; i++ {
+		st.ObserveGauge(float64(i), "a", "r", "g", nil, float64(i*10))
+	}
+	views := st.Match("a", "g", "")
+	if len(views) != 1 {
+		t.Fatalf("series count = %d", len(views))
+	}
+	pts := views[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("ring held %d points, want 4", len(pts))
+	}
+	if pts[0].T != 6 || pts[3].T != 9 {
+		t.Fatalf("ring window wrong: %+v", pts)
+	}
+	if p, ok := st.Latest("a", "g", nil); !ok || p.V != 90 {
+		t.Fatalf("Latest = %+v, %v", p, ok)
+	}
+}
+
+func TestCounterRestartCorrection(t *testing.T) {
+	st := NewStore(16, 0)
+	// Process counts to 100, restarts (raw resets), counts to 40.
+	st.ObserveCounter(1, "a", "r", "c", nil, 60)
+	st.ObserveCounter(2, "a", "r", "c", nil, 100)
+	st.ObserveCounter(3, "a", "r", "c", nil, 5) // restart
+	st.ObserveCounter(4, "a", "r", "c", nil, 40)
+	pts := st.Match("a", "c", "")[0].Points
+	want := []float64{60, 100, 105, 140}
+	for i, w := range want {
+		if pts[i].V != w {
+			t.Fatalf("cumulative[%d] = %v, want %v (monotone across restart)", i, pts[i].V, w)
+		}
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V < pts[i-1].V {
+			t.Fatalf("cumulative regressed at %d: %+v", i, pts)
+		}
+	}
+}
+
+func TestRate(t *testing.T) {
+	st := NewStore(16, 0)
+	for i := 0; i <= 10; i++ {
+		st.ObserveCounter(float64(i), "a", "r", "c", nil, float64(i*7))
+	}
+	// Window covering t in [5,10]: (70-35)/(10-5) = 7/s.
+	if got := st.Rate("a", "c", nil, 5, 10); got != 7 {
+		t.Fatalf("rate = %v, want 7", got)
+	}
+	// Window with a single point: no rate.
+	if got := st.Rate("a", "c", nil, 0.5, 10); got != 0 {
+		t.Fatalf("single-point rate = %v, want 0", got)
+	}
+	// Unknown series: zero.
+	if got := st.Rate("a", "nope", nil, 5, 10); got != 0 {
+		t.Fatalf("missing-series rate = %v", got)
+	}
+}
+
+func TestLabelsCanonicalAndMatch(t *testing.T) {
+	if CanonLabels(map[string]string{"b": "2", "a": "1"}) != "a=1,b=2" {
+		t.Fatal("canonical label order")
+	}
+	st := NewStore(8, 0)
+	st.ObserveGauge(1, "a", "r", "m", map[string]string{"role": "actor", "id": "0"}, 1)
+	st.ObserveGauge(1, "a", "r", "m", map[string]string{"role": "learner", "id": "0"}, 2)
+	if got := len(st.Match("", "m", "role=actor")); got != 1 {
+		t.Fatalf("label-filtered match = %d series", got)
+	}
+	if got := len(st.Match("", "m", "id=0")); got != 2 {
+		t.Fatalf("shared-label match = %d series", got)
+	}
+	if got := len(st.Match("", "m", "")); got != 2 {
+		t.Fatalf("unfiltered match = %d series", got)
+	}
+}
+
+func TestGCAndDropInstance(t *testing.T) {
+	st := NewStore(8, 10)
+	st.ObserveGauge(0, "old", "r", "m", nil, 1)
+	st.ObserveGauge(95, "fresh", "r", "m", nil, 2)
+	if dropped := st.GC(100); dropped != 1 {
+		t.Fatalf("GC dropped %d, want 1", dropped)
+	}
+	if _, ok := st.Latest("old", "m", nil); ok {
+		t.Fatal("silent series survived GC")
+	}
+	if _, ok := st.Latest("fresh", "m", nil); !ok {
+		t.Fatal("fresh series GC'd")
+	}
+	st.ObserveGauge(96, "fresh", "r", "m2", nil, 3)
+	st.DropInstance("fresh")
+	if st.Len() != 0 {
+		t.Fatalf("DropInstance left %d series", st.Len())
+	}
+}
+
+func TestDropLabeled(t *testing.T) {
+	st := NewStore(8, 0)
+	st.ObserveGauge(1, "fleet", "fleet", "fleet_instance_up", map[string]string{"instance": "a", "role": "train"}, 0)
+	st.ObserveGauge(1, "fleet", "fleet", "fleet_instance_up", map[string]string{"instance": "b", "role": "cached"}, 1)
+	st.ObserveGauge(1, "fleet", "fleet", "fleet_shard_serving", map[string]string{"shard": "0"}, 5)
+	st.ObserveGauge(1, "a", "train", "live_updates_total", nil, 3)
+	st.DropLabeled("fleet", map[string]string{"instance": "a"})
+	if got := st.Match("fleet", "fleet_instance_up", "instance=a"); len(got) != 0 {
+		t.Fatalf("labeled series survived drop: %+v", got)
+	}
+	// Everything not matching owner+labels stays: b's up gauge, the
+	// shard gauge, and instance a's own raw series.
+	if _, ok := st.Latest("fleet", "fleet_instance_up", map[string]string{"instance": "b", "role": "cached"}); !ok {
+		t.Fatal("unrelated labeled series dropped")
+	}
+	if _, ok := st.Latest("fleet", "fleet_shard_serving", map[string]string{"shard": "0"}); !ok {
+		t.Fatal("unlabeled-for-instance series dropped")
+	}
+	if _, ok := st.Latest("a", "live_updates_total", nil); !ok {
+		t.Fatal("other-owner series dropped")
+	}
+}

@@ -1,0 +1,187 @@
+// Package logx is a minimal leveled, structured logger: one line per
+// event, key=value pairs, stable field order (ts, level, logger-bound
+// fields, then call-site fields), values quoted only when needed. It
+// replaces bare log.Printf in the CLIs and the obsd collector so fleet
+// logs grep and join cleanly — the trace field carries the same IDs the
+// lineage store and alert log use, which is what lets a log line, an
+// alert event and a lineage chain be stitched together after the fact.
+//
+// It is deliberately not a logging framework: no hooks, no sampling,
+// no global state beyond the package-level Default. Anything fancier
+// belongs in the metrics registry or the lineage store.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int
+
+// Severity levels, least to most severe.
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+// String returns the level's lowercase wire name.
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// ParseLevel maps a wire name back to its Level (defaulting to Info on
+// unknown input — a misconfigured flag should log more, not crash).
+func ParseLevel(s string) Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return Debug
+	case "warn", "warning":
+		return Warn
+	case "error":
+		return Error
+	default:
+		return Info
+	}
+}
+
+// Logger writes leveled key=value lines to a shared writer. All methods
+// are safe for concurrent use; With/WithTrace return derived loggers
+// sharing the same writer and mutex, so lines from every derivation
+// interleave atomically.
+type Logger struct {
+	out    *output
+	min    Level
+	fields []field
+}
+
+type field struct {
+	key string
+	val string
+}
+
+type output struct {
+	mu sync.Mutex
+	w  io.Writer
+	// now stamps each line; split out so tests can freeze time.
+	now func() time.Time
+}
+
+// New returns a logger writing lines at or above min to w.
+func New(w io.Writer, min Level) *Logger {
+	return &Logger{out: &output{w: w, now: time.Now}, min: min}
+}
+
+// Default logs to stderr at Info — the drop-in replacement for the
+// stdlib log package in CLIs.
+func Default() *Logger { return New(os.Stderr, Info) }
+
+// With returns a derived logger with key=value pairs bound to every
+// line it emits (args are alternating keys and values, fmt.Sprint-ed).
+// A trailing odd argument is bound under the key "arg".
+func (l *Logger) With(args ...any) *Logger {
+	d := &Logger{out: l.out, min: l.min}
+	d.fields = append(append([]field(nil), l.fields...), toFields(args)...)
+	return d
+}
+
+// WithTrace binds the trace-ID field joining this logger's lines to a
+// lineage chain or alert event.
+func (l *Logger) WithTrace(id string) *Logger { return l.With("trace", id) }
+
+// SetNow overrides the line timestamp source (tests).
+func (l *Logger) SetNow(now func() time.Time) {
+	l.out.mu.Lock()
+	l.out.now = now
+	l.out.mu.Unlock()
+}
+
+func toFields(args []any) []field {
+	var fs []field
+	for i := 0; i < len(args); i += 2 {
+		if i+1 >= len(args) {
+			fs = append(fs, field{"arg", fmt.Sprint(args[i])})
+			break
+		}
+		fs = append(fs, field{fmt.Sprint(args[i]), fmt.Sprint(args[i+1])})
+	}
+	return fs
+}
+
+// needsQuote reports whether a key or value must be quoted to keep the
+// line splittable on spaces.
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for _, r := range s {
+		if r == ' ' || r == '"' || r == '=' || r < 0x20 {
+			return true
+		}
+	}
+	return false
+}
+
+func appendKV(b *strings.Builder, k, v string) {
+	b.WriteByte(' ')
+	b.WriteString(k)
+	b.WriteByte('=')
+	if needsQuote(v) {
+		b.WriteString(strconv.Quote(v))
+	} else {
+		b.WriteString(v)
+	}
+}
+
+func (l *Logger) log(lv Level, msg string, args []any) {
+	if lv < l.min {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("level=")
+	b.WriteString(lv.String())
+	appendKV(&b, "msg", msg)
+	for _, f := range l.fields {
+		appendKV(&b, f.key, f.val)
+	}
+	for _, f := range toFields(args) {
+		appendKV(&b, f.key, f.val)
+	}
+	b.WriteByte('\n')
+	l.out.mu.Lock()
+	ts := l.out.now().UTC().Format(time.RFC3339Nano)
+	fmt.Fprintf(l.out.w, "ts=%s %s", ts, b.String())
+	l.out.mu.Unlock()
+}
+
+// Debugf-style printf helpers are deliberately absent: pass structure,
+// not formatted strings.
+
+// Debug emits a debug line.
+func (l *Logger) Debug(msg string, args ...any) { l.log(Debug, msg, args) }
+
+// Info emits an info line.
+func (l *Logger) Info(msg string, args ...any) { l.log(Info, msg, args) }
+
+// Warn emits a warning line.
+func (l *Logger) Warn(msg string, args ...any) { l.log(Warn, msg, args) }
+
+// Error emits an error line.
+func (l *Logger) Error(msg string, args ...any) { l.log(Error, msg, args) }

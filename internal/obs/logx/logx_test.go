@@ -1,0 +1,94 @@
+package logx
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func frozen(l *Logger) {
+	epoch := time.Date(2024, 1, 2, 3, 4, 5, 0, time.UTC)
+	l.SetNow(func() time.Time { return epoch })
+}
+
+func TestLineFormat(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Info)
+	frozen(l)
+	l.With("component", "obsd").WithTrace("alert/x/1").Info("scrape ok", "instance", "shard 0", "n", 3)
+	got := sb.String()
+	want := `ts=2024-01-02T03:04:05Z level=info msg="scrape ok" component=obsd trace=alert/x/1 instance="shard 0" n=3` + "\n"
+	if got != want {
+		t.Fatalf("line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Warn)
+	frozen(l)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	out := sb.String()
+	if strings.Contains(out, "nope") {
+		t.Fatalf("sub-threshold lines emitted: %q", out)
+	}
+	if !strings.Contains(out, "level=warn") || !strings.Contains(out, "level=error") {
+		t.Fatalf("expected warn+error lines, got %q", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": Debug, "INFO": Info, "Warn": Warn, "warning": Warn,
+		"error": Error, "bogus": Info, "": Info,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestOddArgsAndQuoting(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Debug)
+	frozen(l)
+	l.Debug("m", "dangling")
+	if !strings.Contains(sb.String(), "arg=dangling") {
+		t.Fatalf("odd trailing arg lost: %q", sb.String())
+	}
+	sb.Reset()
+	l.Info("m", "k", `va"l=ue`)
+	if !strings.Contains(sb.String(), `k="va\"l=ue"`) {
+		t.Fatalf("value needing quotes not quoted: %q", sb.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, Info)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Info("line", "i", j)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "ts=") || !strings.Contains(ln, "level=info") {
+			t.Fatalf("torn line: %q", ln)
+		}
+	}
+}

@@ -401,7 +401,10 @@ type Bucket struct {
 	CumCount   int64   `json:"count"`
 }
 
-// HistogramPoint is one histogram sample with exact count/sum.
+// HistogramPoint is one histogram sample with exact count/sum and the
+// standard latency quantiles (bucket-upper-bound estimates from
+// Histogram.Quantile; +Inf when the target falls in the overflow
+// bucket, hence the JSONFloat encoding).
 type HistogramPoint struct {
 	Name    string            `json:"name"`
 	Labels  map[string]string `json:"labels,omitempty"`
@@ -409,13 +412,26 @@ type HistogramPoint struct {
 	Count   int64             `json:"count"`
 	Sum     float64           `json:"sum"`
 	Mean    float64           `json:"mean"`
+	P50     JSONFloat         `json:"p50"`
+	P95     JSONFloat         `json:"p95"`
+	P99     JSONFloat         `json:"p99"`
 	Buckets []Bucket          `json:"buckets"`
 }
+
+// SnapshotSchema is the current /metrics.json schema version. Bump it
+// on any change a tolerant decoder could not absorb silently (renamed
+// fields, changed units); adding fields does not require a bump.
+// Consumers (the fleet collector) must accept snapshots with a missing
+// version field (pre-versioning emitters decode as 0) and with unknown
+// future fields.
+const SnapshotSchema = 1
 
 // Snapshot is a point-in-time copy of a registry, ready for JSON/CSV
 // serialization. Families and children appear in deterministic order
 // (registration order, then label-value order).
 type Snapshot struct {
+	// Schema identifies the snapshot wire schema (see SnapshotSchema).
+	Schema int `json:"schema_version"`
 	// TimeSec is the registry clock at capture (virtual seconds in DES
 	// mode, monotonic process seconds in live mode).
 	TimeSec    float64          `json:"time_sec"`
@@ -440,7 +456,7 @@ func labelMap(names, values []string) map[string]string {
 // concurrently with writers; values are read atomically per metric (the
 // snapshot is not a global atomic cut, which exposition does not need).
 func (r *Registry) Snapshot() *Snapshot {
-	s := &Snapshot{TimeSec: r.Now()}
+	s := &Snapshot{Schema: SnapshotSchema, TimeSec: r.Now()}
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	fams := make([]*family, len(names))
@@ -475,6 +491,9 @@ func (r *Registry) Snapshot() *Snapshot {
 				hp := HistogramPoint{
 					Name: f.name, Labels: lm, Help: f.help,
 					Count: c.Count(), Sum: c.Sum(), Mean: c.Mean(),
+					P50: JSONFloat(c.Quantile(0.50)),
+					P95: JSONFloat(c.Quantile(0.95)),
+					P99: JSONFloat(c.Quantile(0.99)),
 				}
 				var cum int64
 				for bi := range c.counts {
